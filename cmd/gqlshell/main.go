@@ -1,0 +1,139 @@
+// Command gqlshell runs GraphQL programs (§3.4 FLWR syntax) against graph
+// documents.
+//
+// Usage:
+//
+//	gqlshell -doc name=file.tsv [-doc name2=file2.gql] [query.gql]
+//	gqlshell -doc DBLP=examples/queries/dblp.gql examples/queries/coauthors.gql
+//
+// Documents are loaded from TSV exchange files (a single large graph),
+// .bin binary collections, or .gql text files (a sequence of graph
+// literals forming a collection). The query is read from the argument file
+// or stdin. Graphs produced by return clauses and the final values of
+// graph variables are printed in the language's text syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gqldb/internal/ast"
+	"gqldb/internal/exec"
+	"gqldb/internal/graph"
+	"gqldb/internal/parser"
+)
+
+// docFlags collects repeated -doc name=path flags.
+type docFlags map[string]string
+
+func (d docFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d docFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("expected name=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+func main() {
+	docs := docFlags{}
+	flag.Var(docs, "doc", "document binding name=path (repeatable; .tsv, .bin or .gql)")
+	exhaustiveDefault := flag.Bool("v", false, "verbose: print matched-variable summary")
+	flag.Parse()
+
+	store := exec.Store{}
+	for name, path := range docs {
+		coll, err := loadDoc(path)
+		if err != nil {
+			fail("loading %s: %v", path, err)
+		}
+		store[name] = coll
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fail("reading query: %v", err)
+	}
+
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := exec.New(store).Run(prog)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	for i, g := range res.Out {
+		fmt.Printf("// result %d\n%s;\n", i, g)
+	}
+	names := make([]string, 0, len(res.Vars))
+	for name := range res.Vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("// variable %s\n%s;\n", name, res.Vars[name])
+	}
+	if *exhaustiveDefault {
+		fmt.Fprintf(os.Stderr, "gqlshell: %d result graphs, %d variables\n", len(res.Out), len(res.Vars))
+	}
+}
+
+// loadDoc reads a document: .tsv is one large graph, .bin a binary
+// collection; anything else is parsed as a sequence of graph literals.
+func loadDoc(path string) (graph.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tsv") {
+		g, err := graph.ReadTSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewCollection(g), nil
+	}
+	if strings.HasSuffix(path, ".bin") {
+		return graph.ReadBinary(f)
+	}
+	src, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	var coll graph.Collection
+	for _, s := range prog.Stmts {
+		d, ok := s.(*ast.GraphDecl)
+		if !ok {
+			return nil, fmt.Errorf("%s: documents may contain only graph literals", path)
+		}
+		g, err := d.ToGraph()
+		if err != nil {
+			return nil, err
+		}
+		coll = append(coll, g)
+	}
+	return coll, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gqlshell: "+format+"\n", args...)
+	os.Exit(1)
+}

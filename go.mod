@@ -1,0 +1,3 @@
+module gqldb
+
+go 1.22

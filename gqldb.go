@@ -1,0 +1,259 @@
+// Package gqldb is a Go implementation of GraphQL — the graph query
+// language and access methods of He & Singh, "Graphs-at-a-time: Query
+// Language and Access Methods for Graph Databases" (SIGMOD 2008).
+//
+// Graphs are the basic unit of information: queries select matched graphs
+// from collections via graph patterns (subgraph isomorphism plus attribute
+// predicates) and compose new graphs from them via graph templates. The
+// selection operator is served by graph-specific access methods: a B-tree
+// label index, local pruning with neighborhood subgraphs and profiles,
+// global search-space refinement by pseudo subgraph isomorphism, and
+// cost-based search-order optimization.
+//
+// This facade re-exports the library's main entry points:
+//
+//   - data model: Graph, Tuple, Value, Collection (NewGraph, NewTuple, ...)
+//   - patterns and matching: Pattern, Match/MatchOne, Options
+//   - the graph algebra: Select, CartesianProduct, Join, Compose, Union,
+//     Difference, Intersect (package internal/algebra)
+//   - the query language: Parse and Run for full FLWR programs
+//
+// The subsystem packages under internal/ carry the implementation:
+// internal/match (Algorithms 4.1 and 4.2), internal/index (neighborhood
+// subgraphs, profiles, label index), internal/sqlbase (the SQL-based
+// comparator), internal/datalog and internal/ra (the §3.5 expressiveness
+// bridges), internal/figures (the §5 evaluation harness).
+package gqldb
+
+import (
+	"fmt"
+
+	"gqldb/internal/algebra"
+	"gqldb/internal/ast"
+	"gqldb/internal/exec"
+	"gqldb/internal/expr"
+	"gqldb/internal/gindex"
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/parser"
+	"gqldb/internal/pattern"
+	"gqldb/internal/reach"
+)
+
+// Core data-model types.
+type (
+	// Graph is an attributed multigraph (§3.1).
+	Graph = graph.Graph
+	// Tuple is a tagged attribute list annotating nodes, edges and graphs.
+	Tuple = graph.Tuple
+	// Value is a dynamically typed attribute value.
+	Value = graph.Value
+	// Collection is an ordered collection of graphs — the operand of
+	// every algebra operator.
+	Collection = graph.Collection
+	// NodeID identifies a node within one graph.
+	NodeID = graph.NodeID
+	// EdgeID identifies an edge within one graph.
+	EdgeID = graph.EdgeID
+)
+
+// Pattern and matching types.
+type (
+	// Pattern is a graph pattern P = (motif, predicate) (§3.2).
+	Pattern = pattern.Pattern
+	// Options configures selection evaluation (§4).
+	Options = match.Options
+	// Mapping is one feasible mapping of pattern elements to graph
+	// elements.
+	Mapping = match.Mapping
+	// MatchStats instruments a selection evaluation (search-space sizes
+	// and per-phase times — the quantities plotted in §5).
+	MatchStats = match.Stats
+	// Index bundles the per-graph access structures (label index,
+	// neighborhood subgraphs, profiles).
+	Index = match.Index
+	// MatchedGraph is the triple ⟨Φ, P, G⟩ produced by selection.
+	MatchedGraph = algebra.MatchedGraph
+	// Template constructs new graphs from matched graphs (composition).
+	Template = algebra.Template
+	// TMember is one template body declaration.
+	TMember = algebra.TMember
+	// Template members: embed an operand graph, declare nodes and edges
+	// (with computed attributes), unify nodes.
+	TGraph = algebra.TGraph
+	TNode  = algebra.TNode
+	TEdge  = algebra.TEdge
+	TUnify = algebra.TUnify
+	// AttrTemplate computes one attribute of a template element.
+	AttrTemplate = algebra.AttrTemplate
+	// Operand is an actual template parameter (matched or plain graph).
+	Operand = algebra.Operand
+	// Expr is a predicate expression.
+	Expr = expr.Expr
+	// Store maps document names to collections for query execution.
+	Store = exec.Store
+	// QueryResult is the outcome of running a FLWR program.
+	QueryResult = exec.Result
+)
+
+// Graph constructors.
+var (
+	// NewGraph returns an empty undirected graph.
+	NewGraph = graph.New
+	// NewDirectedGraph returns an empty directed graph.
+	NewDirectedGraph = graph.NewDirected
+	// NewTuple returns an empty tagged tuple.
+	NewTuple = graph.NewTuple
+	// TupleOf builds a tuple from alternating name/value pairs.
+	TupleOf = graph.TupleOf
+	// Int, Float, String, Bool construct attribute values.
+	Int    = graph.Int
+	Float  = graph.Float
+	String = graph.String
+	Bool   = graph.Bool
+)
+
+// Pattern constructors.
+var (
+	// NewPattern returns an empty pattern with an undirected motif.
+	NewPattern = pattern.New
+	// NewDirectedPattern returns an empty pattern with a directed motif.
+	NewDirectedPattern = pattern.NewDirected
+)
+
+// Template operand constructors.
+var (
+	// MatchedOperand binds a matched graph as a template parameter.
+	MatchedOperand = algebra.MatchedOperand
+	// GraphOperand binds a plain graph as a template parameter.
+	GraphOperand = algebra.GraphOperand
+)
+
+// Matching configurations.
+var (
+	// Optimized is the paper's recommended §5 combination: retrieval by
+	// profiles, joint refinement, greedy-ordered search.
+	Optimized = match.Optimized
+	// Baseline is attribute retrieval plus unordered search.
+	Baseline = match.Baseline
+	// BuildIndex precomputes the access structures for a data graph.
+	BuildIndex = match.BuildIndex
+	// Log10Space returns log10 of a candidate-space size (Definition 4.9).
+	Log10Space = match.Log10Space
+)
+
+// Local pruning modes (§4.2).
+const (
+	PruneNone     = match.PruneNone
+	PruneProfile  = match.PruneProfile
+	PruneSubgraph = match.PruneSubgraph
+)
+
+// Search-order planners (§4.4).
+const (
+	OrderInput  = match.OrderInput
+	OrderGreedy = match.OrderGreedy
+	OrderDP     = match.OrderDP
+)
+
+// Match finds mappings of p in g. ix may be nil (no index acceleration).
+func Match(p *Pattern, g *Graph, ix *Index, opt Options) ([]Mapping, *MatchStats, error) {
+	return match.Find(p, g, ix, opt)
+}
+
+// MatchOne reports whether p has at least one mapping in g.
+func MatchOne(p *Pattern, g *Graph, ix *Index, opt Options) (bool, error) {
+	return match.Exists(p, g, ix, opt)
+}
+
+// Select evaluates σ_P(C): all bindings of p across the collection.
+func Select(p *Pattern, c Collection, opt Options) ([]*MatchedGraph, error) {
+	return algebra.Selection(p, c, opt, nil)
+}
+
+// SelectParallel evaluates σ_P(C) with collection members matched
+// concurrently (workers=0 uses GOMAXPROCS); results are identical to
+// Select, in the same order.
+func SelectParallel(p *Pattern, c Collection, opt Options, workers int) ([]*MatchedGraph, error) {
+	return algebra.ParallelSelection(p, c, opt, nil, workers)
+}
+
+// Binary collection serialization (the compact on-disk format).
+var (
+	// WriteBinary serializes a collection of attributed graphs.
+	WriteBinary = graph.WriteBinary
+	// ReadBinary deserializes a collection written by WriteBinary.
+	ReadBinary = graph.ReadBinary
+)
+
+// CollectionIndex is a path-feature index over a collection of small
+// graphs: Candidates filters, Select runs filter-then-verify (§4's first
+// database category).
+type CollectionIndex = gindex.Index
+
+// BuildCollectionIndex enumerates path features up to maxLen edges
+// (3 is a good default) for every graph in the collection.
+func BuildCollectionIndex(c Collection, maxLen int) *CollectionIndex {
+	return gindex.Build(c, maxLen)
+}
+
+// Reachability is a reachability index over one directed graph (SCC
+// condensation plus interval labelings), the access method for recursive
+// path patterns.
+type Reachability = reach.Index
+
+// BuildReachability constructs a reachability index with k randomized
+// labelings (0 = default) and a deterministic seed.
+func BuildReachability(g *Graph, k int, seed int64) *Reachability {
+	return reach.New(g, k, seed)
+}
+
+// ParseExpr parses a predicate expression in the language's where-clause
+// syntax, e.g. `v1.name = "A" & v2.year > 2000`.
+func ParseExpr(src string) (Expr, error) { return parser.ParseExpr(src) }
+
+// ParseQuery parses a GraphQL program (Appendix 4.A syntax).
+func ParseQuery(src string) (*ast.Program, error) { return parser.Parse(src) }
+
+// Run parses and executes a GraphQL program against a document store.
+func Run(src string, store Store) (*QueryResult, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return exec.New(store).Run(prog)
+}
+
+// ParseGraph parses a single graph literal in the language syntax
+// (`graph G { node v1 <label="A">; ... };`).
+func ParseGraph(src string) (*Graph, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Stmts) != 1 {
+		return nil, fmt.Errorf("gqldb: expected a single graph declaration, found %d statements", len(prog.Stmts))
+	}
+	d, ok := prog.Stmts[0].(*ast.GraphDecl)
+	if !ok {
+		return nil, fmt.Errorf("gqldb: expected a graph declaration")
+	}
+	return d.ToGraph()
+}
+
+// ParsePattern parses a single pattern declaration in the language syntax
+// (`graph P { node v1 where name="A"; };`).
+func ParsePattern(src string) (*Pattern, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Stmts) != 1 {
+		return nil, fmt.Errorf("gqldb: expected a single pattern declaration, found %d statements", len(prog.Stmts))
+	}
+	d, ok := prog.Stmts[0].(*ast.GraphDecl)
+	if !ok {
+		return nil, fmt.Errorf("gqldb: expected a graph pattern declaration")
+	}
+	return d.ToPattern()
+}

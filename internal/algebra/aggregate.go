@@ -1,0 +1,179 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+)
+
+// Ordering and aggregation operators over collections — §7 lists
+// "operators such as ordering (ranking), aggregation (OLAP processing)" as
+// the next operators a graph algebra needs. Both evaluate expressions
+// against each member graph with the same name resolution as valued joins
+// (graphEnv): bare names read graph attributes, v.attr reads node v.
+
+// OrderBy returns the collection sorted by the expression's value
+// (ascending; descending when desc). Incomparable or missing values sort
+// last; the sort is stable.
+func OrderBy(c graph.Collection, key expr.Expr, desc bool) (graph.Collection, error) {
+	type keyed struct {
+		g *graph.Graph
+		v graph.Value
+	}
+	ks := make([]keyed, len(c))
+	for i, g := range c {
+		v, err := key.Eval(graphEnv{g})
+		if err != nil {
+			return nil, fmt.Errorf("algebra: order key on %s: %w", g.Name, err)
+		}
+		ks[i] = keyed{g, v}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		ci, err := ks[i].v.Compare(ks[j].v)
+		if err != nil {
+			// Incomparable: nulls/mismatches last regardless of direction.
+			return !ks[i].v.IsNull() && ks[j].v.IsNull()
+		}
+		if desc {
+			return ci > 0
+		}
+		return ci < 0
+	})
+	out := make(graph.Collection, len(ks))
+	for i, k := range ks {
+		out[i] = k.g
+	}
+	return out, nil
+}
+
+// Top returns the first k members of the ordered collection (ranking).
+func Top(c graph.Collection, key expr.Expr, desc bool, k int) (graph.Collection, error) {
+	sorted, err := OrderBy(c, key, desc)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k], nil
+}
+
+// AggFunc names an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the function name.
+func (f AggFunc) String() string {
+	return [...]string{"count", "sum", "min", "max", "avg"}[f]
+}
+
+// AggSpec is one aggregate column: fn applied to the value expression
+// (nil for AggCount).
+type AggSpec struct {
+	Fn AggFunc
+	E  expr.Expr
+	As string
+}
+
+// GroupBy groups the collection by the key expression and computes the
+// aggregates per group. The result is a collection of single-node graphs:
+// the node carries the group key under keyName plus one attribute per
+// aggregate — the same relation-as-graphs encoding the Theorem 4.5 bridge
+// uses. Groups are emitted in first-seen order.
+func GroupBy(c graph.Collection, key expr.Expr, keyName string, aggs []AggSpec) (graph.Collection, error) {
+	type acc struct {
+		key   graph.Value
+		count int64
+		sums  []graph.Value
+		mins  []graph.Value
+		maxs  []graph.Value
+	}
+	var order []string
+	groups := map[string]*acc{}
+	for _, g := range c {
+		kv, err := key.Eval(graphEnv{g})
+		if err != nil {
+			return nil, fmt.Errorf("algebra: group key on %s: %w", g.Name, err)
+		}
+		ks := kv.String()
+		a, ok := groups[ks]
+		if !ok {
+			a = &acc{key: kv,
+				sums: make([]graph.Value, len(aggs)),
+				mins: make([]graph.Value, len(aggs)),
+				maxs: make([]graph.Value, len(aggs)),
+			}
+			groups[ks] = a
+			order = append(order, ks)
+		}
+		a.count++
+		for i, spec := range aggs {
+			if spec.E == nil {
+				continue
+			}
+			v, err := spec.E.Eval(graphEnv{g})
+			if err != nil {
+				return nil, fmt.Errorf("algebra: aggregate %s on %s: %w", spec.As, g.Name, err)
+			}
+			if v.IsNull() {
+				continue
+			}
+			if a.sums[i].IsNull() {
+				a.sums[i] = v
+			} else if s, err := graph.Arith('+', a.sums[i], v); err == nil {
+				a.sums[i] = s
+			}
+			if a.mins[i].IsNull() {
+				a.mins[i] = v
+			} else if cmp, err := v.Compare(a.mins[i]); err == nil && cmp < 0 {
+				a.mins[i] = v
+			}
+			if a.maxs[i].IsNull() {
+				a.maxs[i] = v
+			} else if cmp, err := v.Compare(a.maxs[i]); err == nil && cmp > 0 {
+				a.maxs[i] = v
+			}
+		}
+	}
+	out := make(graph.Collection, 0, len(order))
+	for _, ks := range order {
+		a := groups[ks]
+		g := graph.New("group")
+		attrs := graph.NewTuple("")
+		attrs.Set(keyName, a.key)
+		for i, spec := range aggs {
+			var v graph.Value
+			switch spec.Fn {
+			case AggCount:
+				v = graph.Int(a.count)
+			case AggSum:
+				v = a.sums[i]
+			case AggMin:
+				v = a.mins[i]
+			case AggMax:
+				v = a.maxs[i]
+			case AggAvg:
+				if !a.sums[i].IsNull() {
+					av, err := graph.Arith('/', a.sums[i], graph.Int(a.count))
+					if err == nil {
+						v = av
+					}
+				}
+			}
+			attrs.Set(spec.As, v)
+		}
+		g.AddNode("t", attrs)
+		out = append(out, g)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package algebra
+
+import (
+	"testing"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+)
+
+func paperGraph(title, venue string, year int) *graph.Graph {
+	g := graph.New(title)
+	g.Attrs = graph.TupleOf("inproceedings", "title", title, "venue", venue, "year", year)
+	g.AddNode("t", graph.TupleOf("", "title", title))
+	return g
+}
+
+func papersColl() graph.Collection {
+	return graph.Collection{
+		paperGraph("p1", "SIGMOD", 2006),
+		paperGraph("p2", "VLDB", 2004),
+		paperGraph("p3", "SIGMOD", 2008),
+		paperGraph("p4", "ICDE", 2008),
+		paperGraph("p5", "SIGMOD", 2002),
+	}
+}
+
+func attr(name string) expr.Expr { return expr.Name{Parts: []string{name}} }
+
+func TestOrderBy(t *testing.T) {
+	out, err := OrderBy(papersColl(), attr("year"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := []int64{}
+	for _, g := range out {
+		years = append(years, g.Attrs.GetOr("year").AsInt())
+	}
+	for i := 1; i < len(years); i++ {
+		if years[i-1] > years[i] {
+			t.Fatalf("ascending order violated: %v", years)
+		}
+	}
+	out, _ = OrderBy(papersColl(), attr("year"), true)
+	if out[0].Attrs.GetOr("year").AsInt() != 2008 {
+		t.Errorf("descending first = %v", out[0].Attrs.GetOr("year"))
+	}
+}
+
+func TestOrderByStableAndNullsLast(t *testing.T) {
+	c := papersColl()
+	// Add a graph without a year: must sort last.
+	g := graph.New("noyear")
+	g.Attrs = graph.TupleOf("", "title", "x")
+	g.AddNode("t", nil)
+	c = append(graph.Collection{g}, c...)
+	out, err := OrderBy(c, attr("year"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[len(out)-1].Name != "noyear" {
+		t.Errorf("missing key should sort last, got %s", out[len(out)-1].Name)
+	}
+	// Stability: equal keys keep input order (p3 before p4 in 2008).
+	var eq []string
+	for _, g := range out {
+		if g.Attrs.GetOr("year").AsInt() == 2008 {
+			eq = append(eq, g.Name)
+		}
+	}
+	if len(eq) != 2 || eq[0] != "p3" || eq[1] != "p4" {
+		t.Errorf("stability violated: %v", eq)
+	}
+}
+
+func TestTop(t *testing.T) {
+	out, err := Top(papersColl(), attr("year"), true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Attrs.GetOr("year").AsInt() != 2008 {
+		t.Errorf("top-2 wrong")
+	}
+	out, _ = Top(papersColl(), attr("year"), true, 99)
+	if len(out) != 5 {
+		t.Errorf("top-99 should return all")
+	}
+}
+
+func TestGroupByCountAndStats(t *testing.T) {
+	out, err := GroupBy(papersColl(), attr("venue"), "venue", []AggSpec{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggMin, E: attr("year"), As: "first"},
+		{Fn: AggMax, E: attr("year"), As: "last"},
+		{Fn: AggAvg, E: attr("year"), As: "avg"},
+		{Fn: AggSum, E: attr("year"), As: "sum"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("groups = %d, want 3", len(out))
+	}
+	byVenue := map[string]*graph.Tuple{}
+	for _, g := range out {
+		a := g.Node(0).Attrs
+		byVenue[a.GetOr("venue").AsString()] = a
+	}
+	sig := byVenue["SIGMOD"]
+	if sig.GetOr("n").AsInt() != 3 {
+		t.Errorf("SIGMOD count = %v", sig.GetOr("n"))
+	}
+	if sig.GetOr("first").AsInt() != 2002 || sig.GetOr("last").AsInt() != 2008 {
+		t.Errorf("SIGMOD min/max = %v/%v", sig.GetOr("first"), sig.GetOr("last"))
+	}
+	if got := sig.GetOr("avg").AsFloat(); got < 2005.3 || got > 2005.4 {
+		t.Errorf("SIGMOD avg = %v", got)
+	}
+	if sig.GetOr("sum").AsInt() != 6016 {
+		t.Errorf("SIGMOD sum = %v", sig.GetOr("sum"))
+	}
+	// First-seen group order.
+	if out[0].Node(0).Attrs.GetOr("venue").AsString() != "SIGMOD" {
+		t.Errorf("group order not first-seen")
+	}
+}
+
+func TestGroupByMissingValues(t *testing.T) {
+	c := papersColl()
+	g := graph.New("ny")
+	g.Attrs = graph.TupleOf("", "venue", "SIGMOD") // no year
+	g.AddNode("t", nil)
+	c = append(c, g)
+	out, err := GroupBy(c, attr("venue"), "venue", []AggSpec{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggMin, E: attr("year"), As: "first"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, og := range out {
+		a := og.Node(0).Attrs
+		if a.GetOr("venue").AsString() == "SIGMOD" {
+			if a.GetOr("n").AsInt() != 4 {
+				t.Errorf("count should include missing-year member")
+			}
+			if a.GetOr("first").AsInt() != 2002 {
+				t.Errorf("min should skip missing values")
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package algebra
+
+import (
+	"fmt"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+)
+
+// CartesianProduct computes C × D: each output graph is
+// graph { graph G1, G2; } — the two constituent graphs, unconnected (§3.3).
+func CartesianProduct(c, d graph.Collection) (graph.Collection, error) {
+	t := &Template{Name: "", Members: []TMember{TGraph{Var: "G1"}, TGraph{Var: "G2"}}}
+	out := make(graph.Collection, 0, len(c)*len(d))
+	for _, g1 := range c {
+		for _, g2 := range d {
+			g, err := t.Instantiate(map[string]Operand{
+				"G1": GraphOperand(g1),
+				"G2": GraphOperand(g2),
+			})
+			if err != nil {
+				return nil, err
+			}
+			g.Attrs = mergeAttrs(g1.Attrs, g2.Attrs)
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// mergeAttrs combines two graph tuples; the left side wins on conflicts.
+func mergeAttrs(a, b *graph.Tuple) *graph.Tuple {
+	if a.Len() == 0 && (a == nil || a.Tag == "") {
+		return b.Clone()
+	}
+	out := a.Clone()
+	for i := 0; i < b.Len(); i++ {
+		at := b.At(i)
+		if _, has := out.Get(at.Name); !has {
+			out.Set(at.Name, at.Val)
+		}
+	}
+	return out
+}
+
+// ValuedJoin computes C ⋈_P D as σ_P(C × D): the join condition is a
+// predicate over attributes of the constituent graphs; the constituents
+// stay unconnected (§3.3). The predicate's names are resolved against the
+// product graph (node attributes via embedded node names, graph attributes
+// bare).
+func ValuedJoin(c, d graph.Collection, pred expr.Expr) (graph.Collection, error) {
+	prod, err := CartesianProduct(c, d)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		return prod, nil
+	}
+	var out graph.Collection
+	for _, g := range prod {
+		ok, err := expr.Holds(pred, graphEnv{g})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// graphEnv resolves names against one plain graph: v.attr for a node (or
+// edge) variable, bare attr for the graph tuple.
+type graphEnv struct{ g *graph.Graph }
+
+// Resolve implements expr.Env.
+func (e graphEnv) Resolve(parts []string) (graph.Value, error) {
+	switch len(parts) {
+	case 1:
+		return e.g.Attrs.GetOr(parts[0]), nil
+	case 2:
+		if id, ok := e.g.NodeByName(parts[0]); ok {
+			return e.g.Node(id).Attrs.GetOr(parts[1]), nil
+		}
+		if id, ok := e.g.EdgeByName(parts[0]); ok {
+			return e.g.Edge(id).Attrs.GetOr(parts[1]), nil
+		}
+	}
+	return graph.Null, fmt.Errorf("algebra: cannot resolve %v in graph %s", parts, e.g.Name)
+}
+
+// Compose is the primitive composition operator ω_T(C): instantiate the
+// single-parameter template for every matched graph in the collection
+// (§3.3). Param is the template's formal parameter name.
+func Compose(t *Template, param string, c Matched) (graph.Collection, error) {
+	out := make(graph.Collection, 0, len(c))
+	for _, m := range c {
+		g, err := t.Instantiate(map[string]Operand{param: MatchedOperand(m)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// StructuralJoin joins two collections by instantiating a two-parameter
+// template for every pair — Cartesian product followed by composition,
+// generating new structure (concatenation by edges or unification).
+func StructuralJoin(t *Template, p1, p2 string, c, d Matched) (graph.Collection, error) {
+	var out graph.Collection
+	for _, m1 := range c {
+		for _, m2 := range d {
+			g, err := t.Instantiate(map[string]Operand{
+				p1: MatchedOperand(m1),
+				p2: MatchedOperand(m2),
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// Union computes C ∪ D with set semantics up to graph signature.
+func Union(c, d graph.Collection) graph.Collection {
+	seen := make(map[string]bool)
+	var out graph.Collection
+	for _, g := range append(append(graph.Collection{}, c...), d...) {
+		sig := g.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Difference computes C − D up to graph signature.
+func Difference(c, d graph.Collection) graph.Collection {
+	drop := make(map[string]bool, len(d))
+	for _, g := range d {
+		drop[g.Signature()] = true
+	}
+	seen := make(map[string]bool)
+	var out graph.Collection
+	for _, g := range c {
+		sig := g.Signature()
+		if !drop[sig] && !seen[sig] {
+			seen[sig] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Intersection computes C ∩ D up to graph signature, derived from
+// difference: C ∩ D = C − (C − D).
+func Intersection(c, d graph.Collection) graph.Collection {
+	return Difference(c, Difference(c, d))
+}
+
+// Project is the derived projection operator (Theorem 4.5): for every graph
+// in the collection, select with pattern p and rewrite the named attributes
+// into a fresh single-node graph via composition.
+func Project(c graph.Collection, p *pattern.Pattern, attrs [][]string) (graph.Collection, error) {
+	sel, err := Selection(p, c, match.Options{Exhaustive: false}, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{Name: "proj"}
+	node := TNode{Name: "v"}
+	for _, a := range attrs {
+		node.Attrs = append(node.Attrs, AttrTemplate{
+			Name: a[len(a)-1],
+			E:    expr.Name{Parts: append([]string{p.Name}, a...)},
+		})
+	}
+	t.Members = append(t.Members, node)
+	return Compose(t, p.Name, sel)
+}
+
+// Rename returns copies of the graphs with attribute old renamed to new on
+// every node; a derived operator built on composition semantics.
+func Rename(c graph.Collection, oldName, newName string) graph.Collection {
+	out := make(graph.Collection, len(c))
+	for i, g := range c {
+		ng := g.Clone()
+		for _, n := range ng.Nodes() {
+			if v, ok := n.Attrs.Get(oldName); ok {
+				attrs := graph.NewTuple(n.Attrs.Tag)
+				for j := 0; j < n.Attrs.Len(); j++ {
+					a := n.Attrs.At(j)
+					if a.Name == oldName {
+						attrs.Set(newName, v)
+					} else {
+						attrs.Set(a.Name, a.Val)
+					}
+				}
+				ng.Node(n.ID).Attrs = attrs
+			}
+		}
+		out[i] = ng
+	}
+	return out
+}

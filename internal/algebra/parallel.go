@@ -1,0 +1,85 @@
+package algebra
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+)
+
+// ParallelSelection evaluates σ_P(C) like Selection but matches collection
+// members on workers goroutines (0 = GOMAXPROCS). Output order is the same
+// as Selection's: matched graphs grouped by collection order, bindings in
+// discovery order — parallelism never changes the result. Useful for the
+// "large collection of small graphs" regime (§4), where per-graph matching
+// is cheap but the collection is big.
+func ParallelSelection(p *pattern.Pattern, c graph.Collection, opt match.Options, ixFor func(*graph.Graph) *match.Index, workers int) (Matched, error) {
+	if err := p.Compile(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c) {
+		workers = len(c)
+	}
+	if workers <= 1 {
+		return Selection(p, c, opt, ixFor)
+	}
+
+	type result struct {
+		ms  Matched
+		err error
+	}
+	results := make([]result, len(c))
+	var wg sync.WaitGroup
+	// Chunked work stealing: per-graph matching is often microseconds, so
+	// workers claim batches of indices with one atomic op instead of a
+	// channel receive per graph.
+	const chunk = 16
+	var cursor atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(chunk)) - chunk
+				if start >= len(c) {
+					return
+				}
+				end := start + chunk
+				if end > len(c) {
+					end = len(c)
+				}
+				for i := start; i < end; i++ {
+					g := c[i]
+					var ix *match.Index
+					if ixFor != nil {
+						ix = ixFor(g)
+					}
+					maps, _, err := match.Find(p, g, ix, opt)
+					if err != nil {
+						results[i].err = err
+						continue
+					}
+					for _, m := range maps {
+						results[i].ms = append(results[i].ms, &MatchedGraph{P: p, G: g, M: m})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var out Matched
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		out = append(out, results[i].ms...)
+	}
+	return out, nil
+}

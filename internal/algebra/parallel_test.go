@@ -1,0 +1,98 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+)
+
+func bigCollection(n int) graph.Collection {
+	rng := rand.New(rand.NewSource(33))
+	var out graph.Collection
+	for i := 0; i < n; i++ {
+		g := graph.New(fmt.Sprintf("g%d", i))
+		k := 3 + rng.Intn(5)
+		for j := 0; j < k; j++ {
+			g.AddNode("", graph.TupleOf("", "label", string(rune('A'+rng.Intn(3)))))
+		}
+		for j := 0; j < 2*k; j++ {
+			u, v := rng.Intn(k), rng.Intn(k)
+			if u != v && !g.HasEdgeBetween(graph.NodeID(u), graph.NodeID(v)) {
+				g.AddEdge("", graph.NodeID(u), graph.NodeID(v), nil)
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func edgePattern() *pattern.Pattern {
+	p := pattern.New("P")
+	a := p.LabelNode("a", "A")
+	b := p.LabelNode("b", "B")
+	p.AddEdge("", a, b, nil, nil)
+	return p
+}
+
+// TestParallelSelectionMatchesSequential: identical results (count, graphs
+// and binding order) for any worker count.
+func TestParallelSelectionMatchesSequential(t *testing.T) {
+	c := bigCollection(60)
+	p := edgePattern()
+	opt := match.Options{Exhaustive: true}
+	want, err := Selection(p, c, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		got, err := ParallelSelection(p, c, opt, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d matches, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].G != want[i].G {
+				t.Fatalf("workers=%d: output order differs at %d", workers, i)
+			}
+			for u := range want[i].M.Nodes {
+				if got[i].M.Nodes[u] != want[i].M.Nodes[u] {
+					t.Fatalf("workers=%d: binding differs at %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSelectionEmpty(t *testing.T) {
+	p := edgePattern()
+	got, err := ParallelSelection(p, nil, match.Options{Exhaustive: true}, nil, 4)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty collection: %v, %v", got, err)
+	}
+}
+
+func BenchmarkSelection(b *testing.B) {
+	c := bigCollection(400)
+	p := edgePattern()
+	opt := match.Options{Exhaustive: true}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Selection(p, c, opt, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ParallelSelection(p, c, opt, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package ast
+
+import (
+	"testing"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+)
+
+func lit(v any) expr.Expr {
+	switch x := v.(type) {
+	case int:
+		return expr.Lit{Val: graph.Int(int64(x))}
+	case string:
+		return expr.Lit{Val: graph.String(x)}
+	case bool:
+		return expr.Lit{Val: graph.Bool(x)}
+	}
+	panic("bad lit")
+}
+
+func TestIsSimple(t *testing.T) {
+	simple := &GraphDecl{Name: "G", Members: []Member{
+		&NodeDecl{Name: "v1"},
+		&EdgeDecl{Name: "e1", From: []string{"v1"}, To: []string{"v1"}},
+	}}
+	if !simple.IsSimple() {
+		t.Error("node/edge-only decl should be simple")
+	}
+	withRef := &GraphDecl{Name: "G", Members: []Member{&GraphRef{Name: "X"}}}
+	if withRef.IsSimple() {
+		t.Error("decl with graph ref is not simple")
+	}
+	withAlts := &GraphDecl{Name: "G", Alts: [][]Member{{}}}
+	if withAlts.IsSimple() {
+		t.Error("decl with alternatives is not simple")
+	}
+}
+
+func TestToGraphErrors(t *testing.T) {
+	cases := []*GraphDecl{
+		// where on the graph
+		{Name: "G", Where: lit(true)},
+		// where on a node
+		{Name: "G", Members: []Member{&NodeDecl{Name: "v", Where: lit(true)}}},
+		// edge to undeclared node
+		{Name: "G", Members: []Member{
+			&NodeDecl{Name: "v"},
+			&EdgeDecl{From: []string{"v"}, To: []string{"w"}},
+		}},
+		// non-literal attribute
+		{Name: "G", Members: []Member{
+			&NodeDecl{Name: "v", Tuple: &TupleDecl{Attrs: []AttrDecl{
+				{Name: "x", E: expr.Name{Parts: []string{"y"}}},
+			}}},
+		}},
+		// dotted edge endpoint in a literal graph
+		{Name: "G", Members: []Member{
+			&NodeDecl{Name: "v"},
+			&EdgeDecl{From: []string{"X", "v"}, To: []string{"v"}},
+		}},
+	}
+	for i, d := range cases {
+		if _, err := d.ToGraph(); err == nil {
+			t.Errorf("case %d: ToGraph should fail", i)
+		}
+	}
+}
+
+func TestToPatternOnNonSimple(t *testing.T) {
+	d := &GraphDecl{Name: "P", Members: []Member{&GraphRef{Name: "X"}}}
+	if _, err := d.ToPattern(); err == nil {
+		t.Error("ToPattern on non-simple decl should fail")
+	}
+}
+
+func TestToMotifDefRejectsPredicates(t *testing.T) {
+	d := &GraphDecl{Name: "M", Where: lit(true),
+		Members: []Member{&GraphRef{Name: "M"}}}
+	if _, err := d.ToMotifDef(); err == nil {
+		t.Error("motif with where clause should fail")
+	}
+	d2 := &GraphDecl{Name: "M", Members: []Member{
+		&NodeDecl{Name: "v", Where: lit(true)},
+	}}
+	if _, err := d2.ToMotifDef(); err == nil {
+		t.Error("motif node with where clause should fail")
+	}
+	d3 := &GraphDecl{Name: "M", Members: []Member{
+		&NodeDecl{Name: "a"}, &NodeDecl{Name: "b"},
+		&UnifyDecl{Names: [][]string{{"a"}, {"b"}}, Where: lit(true)},
+	}}
+	if _, err := d3.ToMotifDef(); err == nil {
+		t.Error("motif unify with where clause should fail")
+	}
+}
+
+func TestToMotifDefMultiUnify(t *testing.T) {
+	d := &GraphDecl{Name: "M", Members: []Member{
+		&NodeDecl{Name: "a"}, &NodeDecl{Name: "b"}, &NodeDecl{Name: "c"},
+		&UnifyDecl{Names: [][]string{{"a"}, {"b"}, {"c"}}},
+	}}
+	def, err := d.ToMotifDef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Alts[0].Unifies) != 2 {
+		t.Errorf("3-way unify should lower to 2 pairs, got %d", len(def.Alts[0].Unifies))
+	}
+}
+
+func TestTemplateLowering(t *testing.T) {
+	td := &TemplateDecl{Name: "T", Members: []Member{
+		&GraphRef{Name: "C"},
+		&NodeDecl{Name: "P.v1"},
+		&NodeDecl{Name: "fresh", Tuple: &TupleDecl{Tag: "x",
+			Attrs: []AttrDecl{{Name: "a", E: lit(1)}}}},
+		&EdgeDecl{From: []string{"P", "v1"}, To: []string{"fresh"}},
+		&UnifyDecl{Names: [][]string{{"P", "v1"}, {"C", "v1"}}},
+	}}
+	tmpl, err := td.ToTemplate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpl.Members) != 5 {
+		t.Fatalf("members = %d", len(tmpl.Members))
+	}
+	// Dotted node names become references.
+	n1 := tmpl.Members[1]
+	if tn, ok := n1.(interface{ isTMemberTest() }); ok {
+		_ = tn
+	}
+	// A bare reference template cannot lower.
+	ref := &TemplateDecl{Ref: "X"}
+	if _, err := ref.ToTemplate(); err == nil {
+		t.Error("bare reference should not lower to a template")
+	}
+	// unify with a single name fails.
+	bad := &TemplateDecl{Members: []Member{&UnifyDecl{Names: [][]string{{"a"}}}}}
+	if _, err := bad.ToTemplate(); err == nil {
+		t.Error("1-name unify should fail")
+	}
+}

@@ -1,0 +1,150 @@
+// Package bipartite implements maximum bipartite matching with the
+// Hopcroft–Karp algorithm (O(E·sqrt(V))), as used by the pseudo subgraph
+// isomorphism refinement (He & Singh §4.3): a pattern node u stays a feasible
+// mate of a data node v only while the bipartite graph between u's neighbors
+// and v's neighbors admits a semi-perfect matching (all of u's neighbors
+// matched).
+package bipartite
+
+// Unmatched marks a vertex with no partner in a matching.
+const Unmatched = -1
+
+// Graph is a bipartite graph given as adjacency lists of the left side;
+// Adj[u] lists the right-side vertices adjacent to left vertex u.
+type Graph struct {
+	Adj    [][]int32
+	NRight int
+}
+
+// Matcher runs Hopcroft–Karp. It keeps its scratch buffers so repeated calls
+// on same-sized graphs (the inner loop of refinement) do not allocate.
+type Matcher struct {
+	matchL, matchR []int32
+	dist           []int32
+	queue          []int32
+}
+
+// inf is the BFS "unreached" distance.
+const inf int32 = 1<<31 - 1
+
+// resize readies the scratch buffers for nLeft/nRight vertices.
+func (m *Matcher) resize(nLeft, nRight int) {
+	if cap(m.matchL) < nLeft {
+		m.matchL = make([]int32, nLeft)
+		m.dist = make([]int32, nLeft)
+		m.queue = make([]int32, nLeft)
+	}
+	m.matchL = m.matchL[:nLeft]
+	m.dist = m.dist[:nLeft]
+	m.queue = m.queue[:nLeft]
+	if cap(m.matchR) < nRight {
+		m.matchR = make([]int32, nRight)
+	}
+	m.matchR = m.matchR[:nRight]
+	for i := range m.matchL {
+		m.matchL[i] = Unmatched
+	}
+	for i := range m.matchR {
+		m.matchR[i] = Unmatched
+	}
+}
+
+// Max computes a maximum matching and returns its size. The returned slices
+// (left match and right match, Unmatched where none) alias the Matcher's
+// internal state and are valid until the next call.
+func (m *Matcher) Max(g Graph) (int, []int32, []int32) {
+	nLeft := len(g.Adj)
+	m.resize(nLeft, g.NRight)
+	size := 0
+	// Greedy initialization speeds up typical instances.
+	for u := 0; u < nLeft; u++ {
+		for _, v := range g.Adj[u] {
+			if m.matchR[v] == Unmatched {
+				m.matchR[v] = int32(u)
+				m.matchL[u] = v
+				size++
+				break
+			}
+		}
+	}
+	for m.bfs(g) {
+		for u := 0; u < nLeft; u++ {
+			if m.matchL[u] == Unmatched && m.dfs(g, int32(u)) {
+				size++
+			}
+		}
+	}
+	return size, m.matchL, m.matchR
+}
+
+// bfs layers the free left vertices; returns whether an augmenting path exists.
+func (m *Matcher) bfs(g Graph) bool {
+	q := m.queue[:0]
+	for u := range m.dist {
+		if m.matchL[u] == Unmatched {
+			m.dist[u] = 0
+			q = append(q, int32(u))
+		} else {
+			m.dist[u] = inf
+		}
+	}
+	found := false
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, v := range g.Adj[u] {
+			w := m.matchR[v]
+			if w == Unmatched {
+				found = true
+			} else if m.dist[w] == inf {
+				m.dist[w] = m.dist[u] + 1
+				q = append(q, w)
+			}
+		}
+	}
+	return found
+}
+
+// dfs searches for an augmenting path from free left vertex u along the BFS
+// layering and flips it if found.
+func (m *Matcher) dfs(g Graph, u int32) bool {
+	for _, v := range g.Adj[u] {
+		w := m.matchR[v]
+		if w == Unmatched || (m.dist[w] == m.dist[u]+1 && m.dfs(g, w)) {
+			m.matchL[u] = v
+			m.matchR[v] = u
+			return true
+		}
+	}
+	m.dist[u] = inf
+	return false
+}
+
+// SemiPerfect reports whether a matching exists that saturates every left
+// vertex — the §4.3 feasibility test. It short-circuits on the pigeonhole
+// bound and on any isolated left vertex.
+func (m *Matcher) SemiPerfect(g Graph) bool {
+	nLeft := len(g.Adj)
+	if nLeft > g.NRight {
+		return false
+	}
+	for _, a := range g.Adj {
+		if len(a) == 0 {
+			return false
+		}
+	}
+	size, _, _ := m.Max(g)
+	return size == nLeft
+}
+
+// MaxMatching is a convenience wrapper allocating a fresh Matcher.
+func MaxMatching(g Graph) int {
+	var m Matcher
+	size, _, _ := m.Max(g)
+	return size
+}
+
+// HasSemiPerfect is a convenience wrapper allocating a fresh Matcher.
+func HasSemiPerfect(g Graph) bool {
+	var m Matcher
+	return m.SemiPerfect(g)
+}

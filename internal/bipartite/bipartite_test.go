@@ -1,0 +1,158 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func g(nRight int, adj ...[]int32) Graph { return Graph{Adj: adj, NRight: nRight} }
+
+func TestMaxMatchingSmall(t *testing.T) {
+	cases := []struct {
+		g    Graph
+		want int
+	}{
+		{g(0), 0},                         // empty
+		{g(1, []int32{0}), 1},             // single edge
+		{g(1, []int32{0}, []int32{0}), 1}, // two lefts share one right
+		{g(2, []int32{0, 1}, []int32{0}), 2},
+		{g(2, []int32{0}, []int32{0, 1}), 2},
+		{g(3, []int32{0, 1}, []int32{0, 2}, []int32{1, 2}), 3}, // perfect on K3,3 minus
+		{g(2, []int32{}, []int32{0, 1}), 1},                    // isolated left vertex
+		// Classic augmenting-path case: greedy picks (0,0),(1,1); vertex 2
+		// needs augmentation through both.
+		{g(3, []int32{0}, []int32{0, 1}, []int32{1, 2}), 3},
+	}
+	for i, c := range cases {
+		if got := MaxMatching(c.g); got != c.want {
+			t.Errorf("case %d: MaxMatching = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSemiPerfect(t *testing.T) {
+	if !HasSemiPerfect(g(2, []int32{0, 1}, []int32{0})) {
+		t.Error("expected semi-perfect matching")
+	}
+	if HasSemiPerfect(g(1, []int32{0}, []int32{0})) {
+		t.Error("pigeonhole: 2 lefts cannot saturate into 1 right")
+	}
+	if HasSemiPerfect(g(5, []int32{}, []int32{1})) {
+		t.Error("isolated left vertex cannot be saturated")
+	}
+	if !HasSemiPerfect(g(3)) {
+		t.Error("empty left side is trivially saturated")
+	}
+}
+
+func TestMatchingIsValid(t *testing.T) {
+	gr := g(4, []int32{0, 1}, []int32{1, 2}, []int32{2, 3}, []int32{3, 0})
+	var m Matcher
+	size, matchL, matchR := m.Max(gr)
+	if size != 4 {
+		t.Fatalf("size = %d, want 4", size)
+	}
+	for u, v := range matchL {
+		if v == Unmatched {
+			continue
+		}
+		if matchR[v] != int32(u) {
+			t.Errorf("inconsistent matching: L[%d]=%d but R[%d]=%d", u, v, v, matchR[v])
+		}
+		ok := false
+		for _, w := range gr.Adj[u] {
+			if w == v {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("matched pair (%d,%d) is not an edge", u, v)
+		}
+	}
+}
+
+// reference is an exhaustive O(2^edges) maximum matching for validation.
+func reference(gr Graph) int {
+	usedR := make([]bool, gr.NRight)
+	var rec func(u int) int
+	rec = func(u int) int {
+		if u == len(gr.Adj) {
+			return 0
+		}
+		best := rec(u + 1) // leave u unmatched
+		for _, v := range gr.Adj[u] {
+			if !usedR[v] {
+				usedR[v] = true
+				if r := 1 + rec(u+1); r > best {
+					best = r
+				}
+				usedR[v] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// Property: Hopcroft–Karp agrees with the exhaustive reference on random
+// small bipartite graphs.
+func TestMaxMatchingAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL, nR := 1+rng.Intn(7), 1+rng.Intn(7)
+		adj := make([][]int32, nL)
+		for u := range adj {
+			for v := 0; v < nR; v++ {
+				if rng.Intn(3) == 0 {
+					adj[u] = append(adj[u], int32(v))
+				}
+			}
+		}
+		gr := Graph{Adj: adj, NRight: nR}
+		return MaxMatching(gr) == reference(gr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matcher reuse across differently-sized graphs gives the same
+// answers as fresh matchers.
+func TestMatcherReuse(t *testing.T) {
+	var m Matcher
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		nL, nR := 1+rng.Intn(10), 1+rng.Intn(10)
+		adj := make([][]int32, nL)
+		for u := range adj {
+			for v := 0; v < nR; v++ {
+				if rng.Intn(2) == 0 {
+					adj[u] = append(adj[u], int32(v))
+				}
+			}
+		}
+		gr := Graph{Adj: adj, NRight: nR}
+		size, _, _ := m.Max(gr)
+		if size != MaxMatching(gr) {
+			t.Fatalf("iteration %d: reused matcher disagrees", i)
+		}
+	}
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const nL, nR, deg = 64, 64, 8
+	adj := make([][]int32, nL)
+	for u := range adj {
+		for k := 0; k < deg; k++ {
+			adj[u] = append(adj[u], int32(rng.Intn(nR)))
+		}
+	}
+	gr := Graph{Adj: adj, NRight: nR}
+	var m Matcher
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Max(gr)
+	}
+}

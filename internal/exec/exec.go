@@ -1,0 +1,300 @@
+// Package exec evaluates GraphQL programs (§3.4): sequences of pattern
+// declarations, graph-variable assignments and FLWR expressions. A for
+// clause selects matched graphs from a document (collection); a return
+// clause instantiates a template per match into the output collection; a
+// let clause folds each match into an accumulator graph variable — the
+// Figure 4.12 co-authorship construction.
+package exec
+
+import (
+	"fmt"
+
+	"gqldb/internal/algebra"
+	"gqldb/internal/ast"
+	"gqldb/internal/expr"
+	"gqldb/internal/gindex"
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/motif"
+	"gqldb/internal/pattern"
+)
+
+// Store maps document names (the argument of doc("...")) to collections.
+type Store map[string]graph.Collection
+
+// Engine evaluates programs against a store.
+type Engine struct {
+	Store Store
+	// Opts configures selection; Exhaustive is overridden per FLWR clause.
+	Opts match.Options
+	// IxFor optionally supplies per-graph access structures.
+	IxFor func(*graph.Graph) *match.Index
+	// CollIndex optionally supplies a path-feature index per document
+	// (keyed by doc name): the for-clause then filters candidate graphs
+	// before matching — the §4 access method for collections of small
+	// graphs.
+	CollIndex map[string]*gindex.Index
+	// DeriveDepth bounds recursive-motif derivation (default 8).
+	DeriveDepth int
+	// DeriveLimit bounds the number of derived motifs (default 64).
+	DeriveLimit int
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	// Out collects the graphs produced by return clauses, in order.
+	Out graph.Collection
+	// Vars holds the graph variables (accumulators) by name.
+	Vars map[string]*graph.Graph
+}
+
+// New returns an engine with the default (exhaustive, unoptimized)
+// selection options over the given store.
+func New(store Store) *Engine {
+	return &Engine{Store: store, Opts: match.Options{Exhaustive: true}}
+}
+
+// Run executes a parsed program.
+func (e *Engine) Run(prog *ast.Program) (*Result, error) {
+	env := &environment{
+		engine:  e,
+		decls:   map[string]*ast.GraphDecl{},
+		vars:    map[string]*graph.Graph{},
+		grammar: motif.NewGrammar(),
+	}
+	for _, s := range prog.Stmts {
+		if err := env.exec(s); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Out: env.out, Vars: env.vars}, nil
+}
+
+// environment is the mutable execution state.
+type environment struct {
+	engine  *Engine
+	decls   map[string]*ast.GraphDecl
+	vars    map[string]*graph.Graph
+	grammar *motif.Grammar
+	out     graph.Collection
+}
+
+func (env *environment) exec(s ast.Stmt) error {
+	switch x := s.(type) {
+	case *ast.GraphDecl:
+		return env.declare(x)
+	case *ast.AssignStmt:
+		g, err := env.instantiate(x.Tmpl, nil)
+		if err != nil {
+			return err
+		}
+		g.Name = x.Name
+		env.vars[x.Name] = g
+		return nil
+	case *ast.FLWRStmt:
+		return env.flwr(x)
+	}
+	return fmt.Errorf("exec: unknown statement %T", s)
+}
+
+// declare registers a graph/pattern/motif declaration. Every declaration is
+// also added to the motif grammar so later declarations can reference it.
+func (env *environment) declare(d *ast.GraphDecl) error {
+	if d.Name == "" {
+		return fmt.Errorf("exec: top-level graph declarations must be named")
+	}
+	env.decls[d.Name] = d
+	if d.Where == nil {
+		if def, err := d.ToMotifDef(); err == nil {
+			env.grammar.Add(def)
+		}
+	}
+	return nil
+}
+
+// patterns lowers the declaration (named or inline) into one or more
+// compiled patterns: one for a simple declaration, several for a recursive
+// or disjunctive one (each derived motif becomes a pattern, per the
+// recursive-pattern semantics of §3.2).
+func (env *environment) patterns(d *ast.GraphDecl, extraWhere expr.Expr) ([]*pattern.Pattern, error) {
+	if d.IsSimple() {
+		p, err := clonePattern(d, extraWhere)
+		if err != nil {
+			return nil, err
+		}
+		return []*pattern.Pattern{p}, nil
+	}
+	if extraWhere != nil || d.Where != nil {
+		return nil, fmt.Errorf("exec: predicates on recursive patterns are not supported")
+	}
+	def, err := d.ToMotifDef()
+	if err != nil {
+		return nil, err
+	}
+	env.grammar.Add(def)
+	depth := env.engine.DeriveDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	limit := env.engine.DeriveLimit
+	if limit <= 0 {
+		limit = 64
+	}
+	derived, err := env.grammar.Derive(d.Name, depth, limit)
+	if err != nil {
+		return nil, err
+	}
+	var out []*pattern.Pattern
+	for _, g := range derived {
+		p := pattern.New(d.Name)
+		for _, n := range g.Nodes() {
+			p.AddNode(n.Name, n.Attrs, nil)
+		}
+		for _, eg := range g.Edges() {
+			p.AddEdge(eg.Name, eg.From, eg.To, eg.Attrs, nil)
+		}
+		if err := p.Compile(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// clonePattern lowers a simple declaration plus an extra conjunct into a
+// fresh compiled pattern.
+func clonePattern(d *ast.GraphDecl, extraWhere expr.Expr) (*pattern.Pattern, error) {
+	p := pattern.New(d.Name)
+	for _, m := range d.Members {
+		switch x := m.(type) {
+		case *ast.NodeDecl:
+			t, err := constTuple(x.Tuple)
+			if err != nil {
+				return nil, err
+			}
+			p.AddNode(x.Name, t, x.Where)
+		case *ast.EdgeDecl:
+			if len(x.From) != 1 || len(x.To) != 1 {
+				return nil, fmt.Errorf("exec: pattern %s: edge endpoints must be local", d.Name)
+			}
+			from, ok1 := p.Motif.NodeByName(x.From[0])
+			to, ok2 := p.Motif.NodeByName(x.To[0])
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("exec: pattern %s: edge references undeclared node", d.Name)
+			}
+			t, err := constTuple(x.Tuple)
+			if err != nil {
+				return nil, err
+			}
+			p.AddEdge(x.Name, from, to, t, x.Where)
+		}
+	}
+	p.Where(d.Where)
+	p.Where(extraWhere)
+	if err := p.Compile(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func constTuple(td *ast.TupleDecl) (*graph.Tuple, error) {
+	if td == nil {
+		return nil, nil
+	}
+	t := graph.NewTuple(td.Tag)
+	for _, a := range td.Attrs {
+		lit, ok := a.E.(expr.Lit)
+		if !ok {
+			return nil, fmt.Errorf("exec: pattern attribute %s must be a literal", a.Name)
+		}
+		t.Set(a.Name, lit.Val)
+	}
+	return t, nil
+}
+
+// flwr evaluates one for/let-or-return clause.
+func (env *environment) flwr(f *ast.FLWRStmt) error {
+	decl := f.Pattern
+	if decl == nil {
+		var ok bool
+		decl, ok = env.decls[f.PatternName]
+		if !ok {
+			return fmt.Errorf("exec: undeclared pattern %s", f.PatternName)
+		}
+	}
+	coll, ok := env.engine.Store[f.Doc]
+	if !ok {
+		return fmt.Errorf("exec: unknown document %q", f.Doc)
+	}
+	pats, err := env.patterns(decl, f.Where)
+	if err != nil {
+		return err
+	}
+	opts := env.engine.Opts
+	opts.Exhaustive = f.Exhaustive
+
+	var tmplDecl *ast.TemplateDecl
+	if f.Return != nil {
+		tmplDecl = f.Return
+	} else {
+		tmplDecl = f.Let
+	}
+
+	for _, p := range pats {
+		target := coll
+		if cix, ok := env.engine.CollIndex[f.Doc]; ok {
+			cands, err := cix.Candidates(p)
+			if err != nil {
+				return err
+			}
+			filtered := make(graph.Collection, len(cands))
+			for i, gi := range cands {
+				filtered[i] = coll[gi]
+			}
+			target = filtered
+		}
+		ms, err := algebra.Selection(p, target, opts, env.engine.IxFor)
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			g, err := env.instantiate(tmplDecl, map[string]algebra.Operand{
+				p.Name: algebra.MatchedOperand(m),
+			})
+			if err != nil {
+				return err
+			}
+			if f.Return != nil {
+				env.out = append(env.out, g)
+			} else {
+				g.Name = f.LetName
+				env.vars[f.LetName] = g
+			}
+		}
+	}
+	return nil
+}
+
+// instantiate lowers and applies a template declaration. All current graph
+// variables are available as operands alongside the explicit bindings; a
+// bare reference template (let X := Y) copies the variable.
+func (env *environment) instantiate(td *ast.TemplateDecl, bindings map[string]algebra.Operand) (*graph.Graph, error) {
+	if td.Ref != "" {
+		if g, ok := env.vars[td.Ref]; ok {
+			return g.Clone(), nil
+		}
+		return nil, fmt.Errorf("exec: undefined graph variable %s", td.Ref)
+	}
+	tmpl, err := td.ToTemplate()
+	if err != nil {
+		return nil, err
+	}
+	args := make(map[string]algebra.Operand, len(env.vars)+len(bindings))
+	for name, g := range env.vars {
+		args[name] = algebra.GraphOperand(g)
+	}
+	for name, op := range bindings {
+		args[name] = op
+	}
+	return tmpl.Instantiate(args)
+}

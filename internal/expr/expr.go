@@ -1,0 +1,233 @@
+// Package expr implements the predicate expressions of GraphQL graph
+// patterns and templates (§3.2, Appendix 4.A): boolean and arithmetic
+// combinations of literals and qualified names such as P.v1.name. An
+// expression is evaluated against an Env that resolves names to attribute
+// values of bound nodes, edges or graphs.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"gqldb/internal/graph"
+)
+
+// Env resolves a qualified name (already split at dots) to a value. Missing
+// attributes resolve to Null without error; unknown variables are errors.
+type Env interface {
+	Resolve(parts []string) (graph.Value, error)
+}
+
+// Expr is a predicate or arithmetic expression tree.
+type Expr interface {
+	// Eval computes the expression's value under env.
+	Eval(env Env) (graph.Value, error)
+	// String renders the expression in source syntax.
+	String() string
+}
+
+// Lit is a literal value.
+type Lit struct {
+	Val graph.Value
+}
+
+// Eval implements Expr.
+func (l Lit) Eval(Env) (graph.Value, error) { return l.Val, nil }
+
+func (l Lit) String() string { return l.Val.String() }
+
+// Name is a dotted qualified name, e.g. P.v1.name or name.
+type Name struct {
+	Parts []string
+}
+
+// Eval implements Expr.
+func (n Name) Eval(env Env) (graph.Value, error) { return env.Resolve(n.Parts) }
+
+func (n Name) String() string { return strings.Join(n.Parts, ".") }
+
+// Op identifies a binary operator.
+type Op uint8
+
+// Binary operators of the grammar. OpEq is spelled both "=" and "==" in the
+// paper's examples; the parser normalizes to OpEq.
+const (
+	OpOr Op = iota
+	OpAnd
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpGt
+	OpGe
+	OpLt
+	OpLe
+)
+
+var opNames = [...]string{"|", "&", "+", "-", "*", "/", "==", "!=", ">", ">=", "<", "<="}
+
+// String returns the operator's source spelling.
+func (op Op) String() string { return opNames[op] }
+
+// Binary applies Op to two subexpressions.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+func (b Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Eval implements Expr. Boolean operators use truthiness and short-circuit;
+// comparisons between incomparable kinds (including Null, i.e. missing
+// attributes) are false rather than errors, so heterogeneous graphs simply
+// fail to match instead of aborting a query.
+func (b Binary) Eval(env Env) (graph.Value, error) {
+	switch b.Op {
+	case OpAnd, OpOr:
+		l, err := b.L.Eval(env)
+		if err != nil {
+			return graph.Null, err
+		}
+		if b.Op == OpAnd && !l.Truthy() {
+			return graph.Bool(false), nil
+		}
+		if b.Op == OpOr && l.Truthy() {
+			return graph.Bool(true), nil
+		}
+		r, err := b.R.Eval(env)
+		if err != nil {
+			return graph.Null, err
+		}
+		return graph.Bool(r.Truthy()), nil
+	}
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return graph.Null, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return graph.Null, err
+	}
+	switch b.Op {
+	case OpAdd:
+		return graph.Arith('+', l, r)
+	case OpSub:
+		return graph.Arith('-', l, r)
+	case OpMul:
+		return graph.Arith('*', l, r)
+	case OpDiv:
+		return graph.Arith('/', l, r)
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		// Incomparable values: != holds, every other comparison fails.
+		return graph.Bool(b.Op == OpNe), nil
+	}
+	switch b.Op {
+	case OpEq:
+		return graph.Bool(c == 0), nil
+	case OpNe:
+		return graph.Bool(c != 0), nil
+	case OpGt:
+		return graph.Bool(c > 0), nil
+	case OpGe:
+		return graph.Bool(c >= 0), nil
+	case OpLt:
+		return graph.Bool(c < 0), nil
+	case OpLe:
+		return graph.Bool(c <= 0), nil
+	}
+	return graph.Null, fmt.Errorf("expr: unknown operator %d", b.Op)
+}
+
+// Holds evaluates e as a boolean predicate; a nil expression holds trivially.
+func Holds(e Expr, env Env) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// And conjoins expressions, dropping nils; returns nil when all are nil.
+func And(es ...Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = Binary{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Conjuncts flattens nested AND nodes into a list; a nil expression yields
+// nil. Used to push per-node predicates down into the pattern (§4.1).
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// Names returns every qualified name occurring in e, in source order.
+func Names(e Expr) [][]string {
+	var out [][]string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Name:
+			out = append(out, x.Parts)
+		case Binary:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// Rewrite returns a copy of e with every Name transformed by fn (fn may
+// return the name unchanged). Used to requalify node-level predicates when
+// motifs are composed or aliased.
+func Rewrite(e Expr, fn func(Name) Name) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case Name:
+		return fn(x)
+	case Binary:
+		return Binary{Op: x.Op, L: Rewrite(x.L, fn), R: Rewrite(x.R, fn)}
+	default:
+		return e
+	}
+}
+
+// MapEnv is an Env backed by a map from dotted names to values; convenient
+// in tests and for template parameters.
+type MapEnv map[string]graph.Value
+
+// Resolve implements Env.
+func (m MapEnv) Resolve(parts []string) (graph.Value, error) {
+	key := strings.Join(parts, ".")
+	if v, ok := m[key]; ok {
+		return v, nil
+	}
+	return graph.Null, nil
+}

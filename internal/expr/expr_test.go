@@ -1,0 +1,192 @@
+package expr
+
+import (
+	"testing"
+
+	"gqldb/internal/graph"
+)
+
+func lit(v any) Expr {
+	switch x := v.(type) {
+	case int:
+		return Lit{graph.Int(int64(x))}
+	case float64:
+		return Lit{graph.Float(x)}
+	case string:
+		return Lit{graph.String(x)}
+	case bool:
+		return Lit{graph.Bool(x)}
+	}
+	panic("bad literal")
+}
+
+func name(parts ...string) Expr { return Name{Parts: parts} }
+
+func bin(op Op, l, r Expr) Expr { return Binary{Op: op, L: l, R: r} }
+
+func evalOK(t *testing.T, e Expr, env Env) graph.Value {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestLiteralsAndNames(t *testing.T) {
+	env := MapEnv{"v1.name": graph.String("A"), "v1.year": graph.Int(2006)}
+	if got := evalOK(t, lit(5), env); got.AsInt() != 5 {
+		t.Errorf("lit = %v", got)
+	}
+	if got := evalOK(t, name("v1", "name"), env); got.AsString() != "A" {
+		t.Errorf("name = %v", got)
+	}
+	// Missing attribute resolves to Null, not an error.
+	if got := evalOK(t, name("v1", "missing"), env); !got.IsNull() {
+		t.Errorf("missing = %v, want null", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	env := MapEnv{"x": graph.Int(10), "s": graph.String("abc")}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{bin(OpEq, name("x"), lit(10)), true},
+		{bin(OpNe, name("x"), lit(10)), false},
+		{bin(OpGt, name("x"), lit(5)), true},
+		{bin(OpGe, name("x"), lit(10)), true},
+		{bin(OpLt, name("x"), lit(10)), false},
+		{bin(OpLe, name("x"), lit(10)), true},
+		{bin(OpEq, name("s"), lit("abc")), true},
+		{bin(OpLt, name("s"), lit("abd")), true},
+		// Incomparable kinds: == false, != true, ordering false.
+		{bin(OpEq, name("x"), lit("10")), false},
+		{bin(OpNe, name("x"), lit("10")), true},
+		{bin(OpGt, name("x"), lit("10")), false},
+		// Null (missing) never equals anything.
+		{bin(OpEq, name("nope"), lit(0)), false},
+	}
+	for _, c := range cases {
+		got := evalOK(t, c.e, env)
+		if got.AsBool() != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestBooleanShortCircuit(t *testing.T) {
+	// name resolution errors only surface when the operand is evaluated.
+	env := errEnv{}
+	e := bin(OpAnd, lit(false), name("boom"))
+	if v := evalOK(t, e, env); v.AsBool() {
+		t.Error("false & X should be false without evaluating X")
+	}
+	e = bin(OpOr, lit(true), name("boom"))
+	if v := evalOK(t, e, env); !v.AsBool() {
+		t.Error("true | X should be true without evaluating X")
+	}
+	e = bin(OpAnd, lit(true), name("boom"))
+	if _, err := e.Eval(env); err == nil {
+		t.Error("true & error should propagate the error")
+	}
+}
+
+type errEnv struct{}
+
+func (errEnv) Resolve(parts []string) (graph.Value, error) {
+	return graph.Null, errTest
+}
+
+var errTest = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestArithmetic(t *testing.T) {
+	env := MapEnv{"x": graph.Int(7)}
+	e := bin(OpAdd, bin(OpMul, name("x"), lit(2)), lit(1)) // x*2+1
+	if got := evalOK(t, e, env); got.AsInt() != 15 {
+		t.Errorf("x*2+1 = %v, want 15", got)
+	}
+	e = bin(OpDiv, name("x"), lit(2))
+	if got := evalOK(t, e, env); got.AsFloat() != 3.5 {
+		t.Errorf("7/2 = %v, want 3.5", got)
+	}
+	if _, err := bin(OpAdd, lit("a"), lit(1)).Eval(env); err == nil {
+		t.Error("string+int should error")
+	}
+}
+
+func TestHolds(t *testing.T) {
+	if ok, err := Holds(nil, MapEnv{}); err != nil || !ok {
+		t.Error("nil predicate should hold")
+	}
+	if ok, _ := Holds(bin(OpGt, lit(1), lit(2)), MapEnv{}); ok {
+		t.Error("1>2 should not hold")
+	}
+}
+
+func TestAndConjuncts(t *testing.T) {
+	a := bin(OpEq, name("x"), lit(1))
+	b := bin(OpGt, name("y"), lit(2))
+	c := bin(OpLt, name("z"), lit(3))
+	e := And(a, nil, b, c)
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	if And() != nil || And(nil, nil) != nil {
+		t.Error("And of nothing should be nil")
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+	// Nested ORs are not split.
+	or := bin(OpOr, a, b)
+	if got := Conjuncts(or); len(got) != 1 {
+		t.Errorf("Conjuncts(or) = %d, want 1", len(got))
+	}
+}
+
+func TestNamesAndRewrite(t *testing.T) {
+	e := bin(OpAnd,
+		bin(OpEq, name("v1", "name"), name("v2", "name")),
+		bin(OpGt, name("year"), lit(2000)))
+	ns := Names(e)
+	if len(ns) != 3 {
+		t.Fatalf("Names = %v", ns)
+	}
+	// Qualify bare names with a prefix.
+	q := Rewrite(e, func(n Name) Name {
+		if len(n.Parts) == 1 {
+			return Name{Parts: append([]string{"v9"}, n.Parts...)}
+		}
+		return n
+	})
+	found := false
+	for _, n := range Names(q) {
+		if len(n) == 2 && n[0] == "v9" && n[1] == "year" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Rewrite did not qualify bare name: %s", q)
+	}
+	// Original untouched.
+	for _, n := range Names(e) {
+		if n[0] == "v9" {
+			t.Error("Rewrite mutated the original")
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	e := bin(OpAnd, bin(OpEq, name("v1", "name"), lit("A")), bin(OpGt, name("v2", "year"), lit(2000)))
+	want := `((v1.name == "A") & (v2.year > 2000))`
+	if e.String() != want {
+		t.Errorf("String = %s, want %s", e.String(), want)
+	}
+}

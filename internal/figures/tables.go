@@ -1,0 +1,391 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gqldb/internal/gen"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+	"gqldb/internal/stats"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// aggregate buckets measurements by size, filters by hit bucket, and
+// returns one aggregated row per size via the sel accessor.
+func aggregate(data []measure, bucket stats.Bucket, sizes []int, sel func(*measure) float64) map[int]*stats.Agg {
+	out := map[int]*stats.Agg{}
+	for _, s := range sizes {
+		out[s] = &stats.Agg{}
+	}
+	for i := range data {
+		m := &data[i]
+		if m.bucket != bucket {
+			continue
+		}
+		a, ok := out[m.size]
+		if !ok {
+			continue
+		}
+		v := sel(m)
+		if !math.IsNaN(v) {
+			a.Add(v)
+		}
+	}
+	return out
+}
+
+var cliqueSizes = []int{2, 3, 4, 5, 6, 7}
+var synSizes = []int{4, 8, 12, 16, 20}
+
+// Fig420 reproduces Figure 4.20: mean log10 search-space reduction ratio vs
+// clique size for the three retrieval methods, for the given hit bucket
+// ((a) = low hits, (b) = high hits).
+func (r *Runner) Fig420(bucket stats.Bucket) (*stats.Table, error) {
+	data, err := r.cliqueData()
+	if err != nil {
+		return nil, err
+	}
+	name := "low hits"
+	if bucket == stats.BucketHigh {
+		name = "high hits"
+	}
+	t := &stats.Table{
+		Title:   "Figure 4.20 (" + name + "): search-space reduction ratio, clique queries on PPI",
+		Headers: []string{"clique_size", "queries", "retrieve_by_profiles", "retrieve_by_subgraphs", "refined_space"},
+	}
+	prof := aggregate(data, bucket, cliqueSizes, func(m *measure) float64 { return m.logProf - m.logBase })
+	sub := aggregate(data, bucket, cliqueSizes, func(m *measure) float64 { return m.logSub - m.logBase })
+	ref := aggregate(data, bucket, cliqueSizes, func(m *measure) float64 { return m.logRef - m.logBase })
+	for _, s := range cliqueSizes {
+		if prof[s].N() == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprint(s), fmt.Sprint(prof[s].N()),
+			stats.FmtLog(prof[s].Mean()), stats.FmtLog(sub[s].Mean()), stats.FmtLog(ref[s].Mean()))
+	}
+	return t, nil
+}
+
+// Fig421a reproduces Figure 4.21(a): mean per-step time vs clique size
+// (low hits).
+func (r *Runner) Fig421a() (*stats.Table, error) {
+	data, err := r.cliqueData()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: "Figure 4.21(a): per-step time (ms), clique queries on PPI (low hits)",
+		Headers: []string{"clique_size", "retrieve_profiles_ms", "retrieve_subgraphs_ms",
+			"refine_ms", "search_opt_order_ms", "search_no_opt_ms"},
+	}
+	cols := []func(*measure) float64{
+		func(m *measure) float64 { return m.tProf },
+		func(m *measure) float64 { return m.tSub },
+		func(m *measure) float64 { return m.tRefine },
+		func(m *measure) float64 { return m.tSearchOpt },
+		func(m *measure) float64 { return m.tSearchNoOpt },
+	}
+	aggs := make([]map[int]*stats.Agg, len(cols))
+	for i, c := range cols {
+		aggs[i] = aggregate(data, stats.BucketLow, cliqueSizes, c)
+	}
+	for _, s := range cliqueSizes {
+		if aggs[0][s].N() == 0 {
+			continue
+		}
+		row := []string{fmt.Sprint(s)}
+		for i := range cols {
+			row = append(row, stats.FmtMs(aggs[i][s].Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig421b reproduces Figure 4.21(b): mean total query time vs clique size
+// for Optimized / Baseline / SQL-based (low hits, log-scale in the paper).
+func (r *Runner) Fig421b() (*stats.Table, error) {
+	data, err := r.cliqueData()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 4.21(b): total query time (ms), clique queries on PPI (low hits)",
+		Headers: []string{"clique_size", "optimized_ms", "baseline_ms", "sql_ms"},
+	}
+	opt := aggregate(data, stats.BucketLow, cliqueSizes, func(m *measure) float64 { return m.tOptTotal })
+	base := aggregate(data, stats.BucketLow, cliqueSizes, func(m *measure) float64 { return m.tBaseTotal })
+	sql := aggregate(data, stats.BucketLow, cliqueSizes, func(m *measure) float64 { return m.tSQL })
+	for _, s := range cliqueSizes {
+		if opt[s].N() == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprint(s), stats.FmtMs(opt[s].Mean()), stats.FmtMs(base[s].Mean()), stats.FmtMs(sql[s].Mean()))
+	}
+	return t, nil
+}
+
+// Fig422a reproduces Figure 4.22(a): search-space reduction vs query size
+// on the synthetic graph (low hits).
+func (r *Runner) Fig422a() (*stats.Table, error) {
+	data, err := r.synData()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 4.22(a): search-space reduction ratio, subgraph queries on synthetic graph (low hits)",
+		Headers: []string{"query_size", "queries", "retrieve_by_profiles", "retrieve_by_subgraphs", "refined_space"},
+	}
+	prof := aggregate(data, stats.BucketLow, synSizes, func(m *measure) float64 { return m.logProf - m.logBase })
+	sub := aggregate(data, stats.BucketLow, synSizes, func(m *measure) float64 { return m.logSub - m.logBase })
+	ref := aggregate(data, stats.BucketLow, synSizes, func(m *measure) float64 { return m.logRef - m.logBase })
+	for _, s := range synSizes {
+		if prof[s].N() == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprint(s), fmt.Sprint(prof[s].N()),
+			stats.FmtLog(prof[s].Mean()), stats.FmtLog(sub[s].Mean()), stats.FmtLog(ref[s].Mean()))
+	}
+	return t, nil
+}
+
+// Fig422b reproduces Figure 4.22(b): per-step time vs query size.
+func (r *Runner) Fig422b() (*stats.Table, error) {
+	data, err := r.synData()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: "Figure 4.22(b): per-step time (ms), subgraph queries on synthetic graph (low hits)",
+		Headers: []string{"query_size", "retrieve_profiles_ms", "retrieve_subgraphs_ms",
+			"refine_ms", "search_opt_order_ms", "search_no_opt_ms"},
+	}
+	cols := []func(*measure) float64{
+		func(m *measure) float64 { return m.tProf },
+		func(m *measure) float64 { return m.tSub },
+		func(m *measure) float64 { return m.tRefine },
+		func(m *measure) float64 { return m.tSearchOpt },
+		func(m *measure) float64 { return m.tSearchNoOpt },
+	}
+	aggs := make([]map[int]*stats.Agg, len(cols))
+	for i, c := range cols {
+		aggs[i] = aggregate(data, stats.BucketLow, synSizes, c)
+	}
+	for _, s := range synSizes {
+		if aggs[0][s].N() == 0 {
+			continue
+		}
+		row := []string{fmt.Sprint(s)}
+		for i := range cols {
+			row = append(row, stats.FmtMs(aggs[i][s].Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig423a reproduces Figure 4.23(a): total time vs query size on the 10K
+// synthetic graph for Optimized / Baseline / SQL (low hits).
+func (r *Runner) Fig423a() (*stats.Table, error) {
+	data, err := r.synData()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 4.23(a): total query time (ms) vs query size, synthetic graph (low hits)",
+		Headers: []string{"query_size", "optimized_ms", "baseline_ms", "sql_ms"},
+	}
+	opt := aggregate(data, stats.BucketLow, synSizes, func(m *measure) float64 { return m.tOptTotal })
+	base := aggregate(data, stats.BucketLow, synSizes, func(m *measure) float64 { return m.tBaseTotal })
+	sql := aggregate(data, stats.BucketLow, synSizes, func(m *measure) float64 { return m.tSQL })
+	for _, s := range synSizes {
+		if opt[s].N() == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprint(s), stats.FmtMs(opt[s].Mean()), stats.FmtMs(base[s].Mean()), stats.FmtMs(sql[s].Mean()))
+	}
+	return t, nil
+}
+
+// Fig423b reproduces Figure 4.23(b): total time vs graph size (query size
+// 4) for Optimized / Baseline / SQL.
+func (r *Runner) Fig423b() (*stats.Table, error) {
+	sw, err := r.sweepData()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 4.23(b): total query time (ms) vs graph size (query size 4, low hits)",
+		Headers: []string{"graph_nodes", "optimized_ms", "baseline_ms", "sql_ms"},
+	}
+	for _, m := range sw {
+		t.AddRow(fmt.Sprint(m.n), stats.FmtMs(m.tOptTotal.Mean()), stats.FmtMs(m.tBaseTotal.Mean()), stats.FmtMs(m.tSQL.Mean()))
+	}
+	return t, nil
+}
+
+// AblationOrder compares search-order planners (and reduction-factor
+// estimators) on the synthetic workload: input order, greedy with constant
+// gamma, greedy with frequency-based gamma, and exact DP — the §4.4 design
+// choices.
+func (r *Runner) AblationOrder() (*stats.Table, error) {
+	if _, err := r.synData(); err != nil { // ensures syn graph + index exist
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Ablation: search-order planner (mean search ms, synthetic graph)",
+		Headers: []string{"query_size", "input_order", "greedy_const", "greedy_freq", "dp_freq"},
+	}
+	rng := newRng(r.Cfg.Seed + 30)
+	for _, size := range []int{4, 8, 12} {
+		var aggs [4]stats.Agg
+		for q := 0; q < r.Cfg.SynPerSize; q++ {
+			p := gen.SubgraphQuery(r.syn, size, rng)
+			if p == nil {
+				continue
+			}
+			opts := []match.Options{
+				{Exhaustive: true, Limit: r.Cfg.HitLimit, Prune: match.PruneProfile, Refine: true, Order: match.OrderInput, CollectStats: true},
+				{Exhaustive: true, Limit: r.Cfg.HitLimit, Prune: match.PruneProfile, Refine: true, Order: match.OrderGreedy, CollectStats: true},
+				{Exhaustive: true, Limit: r.Cfg.HitLimit, Prune: match.PruneProfile, Refine: true, Order: match.OrderGreedy, FreqGamma: true, CollectStats: true},
+				{Exhaustive: true, Limit: r.Cfg.HitLimit, Prune: match.PruneProfile, Refine: true, Order: match.OrderDP, FreqGamma: true, CollectStats: true},
+			}
+			for i, o := range opts {
+				_, st, err := match.Find(p, r.syn, r.synIx, o)
+				if err != nil {
+					return nil, err
+				}
+				aggs[i].Add(ms(st.SearchTime))
+			}
+		}
+		t.AddRow(fmt.Sprint(size), stats.FmtMs(aggs[0].Mean()), stats.FmtMs(aggs[1].Mean()),
+			stats.FmtMs(aggs[2].Mean()), stats.FmtMs(aggs[3].Mean()))
+	}
+	return t, nil
+}
+
+// AblationAdjacency compares the literal Algorithm 4.1 candidate loop
+// ("foreach v ∈ Φ(ui)") against adjacency-driven candidate iteration
+// (Options.AdjIterate) — an extension beyond the paper that iterates the
+// data adjacency of an already-matched neighbor instead of the whole
+// feasible-mate list.
+func (r *Runner) AblationAdjacency() (*stats.Table, error) {
+	if _, err := r.synData(); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Ablation: candidate iteration (mean search ms, synthetic graph, refined space)",
+		Headers: []string{"query_size", "phi_scan", "adjacency"},
+	}
+	rng := newRng(r.Cfg.Seed + 33)
+	for _, size := range []int{4, 8, 12, 16, 20} {
+		var scan, adj stats.Agg
+		for q := 0; q < r.Cfg.SynPerSize; q++ {
+			p := gen.SubgraphQuery(r.syn, size, rng)
+			if p == nil {
+				continue
+			}
+			base := match.Options{Exhaustive: true, Limit: r.Cfg.HitLimit,
+				Prune: match.PruneProfile, Refine: true,
+				Order: match.OrderGreedy, FreqGamma: true, CollectStats: true}
+			_, st1, err := match.Find(p, r.syn, r.synIx, base)
+			if err != nil {
+				return nil, err
+			}
+			base.AdjIterate = true
+			_, st2, err := match.Find(p, r.syn, r.synIx, base)
+			if err != nil {
+				return nil, err
+			}
+			scan.Add(ms(st1.SearchTime))
+			adj.Add(ms(st2.SearchTime))
+		}
+		t.AddRow(fmt.Sprint(size), stats.FmtMs(scan.Mean()), stats.FmtMs(adj.Mean()))
+	}
+	return t, nil
+}
+
+// AblationRadius compares neighborhood radii for profile pruning. The
+// paper uses radius 1; a larger radius costs more to build and check, and
+// its pruning power depends on the pattern's diameter — for diameter-1
+// cliques the data-side ball grows while the pattern-side ball cannot, so
+// radius 2 actually prunes less there. Reported per clique size: mean
+// pruned-space log10 and retrieval time for radius 1 and radius 2.
+func (r *Runner) AblationRadius() (*stats.Table, error) {
+	if _, err := r.cliqueData(); err != nil {
+		return nil, err
+	}
+	ix2 := match.BuildIndex(r.ppi, 2, false)
+	t := &stats.Table{
+		Title:   "Ablation: profile radius (clique queries on PPI)",
+		Headers: []string{"clique_size", "space_r1_log10", "space_r2_log10", "retrieve_r1_ms", "retrieve_r2_ms"},
+	}
+	rng := newRng(r.Cfg.Seed + 32)
+	for _, size := range []int{3, 4, 5} {
+		var s1, s2, t1, t2 stats.Agg
+		for q := 0; q < r.Cfg.CliquePerSize; q++ {
+			// Clique-sampled queries always have answers, so the spaces
+			// are never empty and their log-means are meaningful.
+			p := gen.GraphCliqueQuery(r.ppi, size, rng)
+			if p == nil {
+				continue
+			}
+			o := match.Options{Prune: match.PruneProfile, CollectStats: true}
+			_, st1, err := match.Find(p, r.ppi, r.ppiIx, o)
+			if err != nil {
+				return nil, err
+			}
+			_, st2, err := match.Find(p, r.ppi, ix2, o)
+			if err != nil {
+				return nil, err
+			}
+			s1.Add(match.Log10Space(st1.CandLocal))
+			s2.Add(match.Log10Space(st2.CandLocal))
+			t1.Add(ms(st1.RetrieveTime))
+			t2.Add(ms(st2.RetrieveTime))
+		}
+		t.AddRow(fmt.Sprint(size), stats.FmtLog(s1.Mean()), stats.FmtLog(s2.Mean()),
+			stats.FmtMs(t1.Mean()), stats.FmtMs(t2.Mean()))
+	}
+	return t, nil
+}
+
+// AblationRefineLevel sweeps the refinement level l of Algorithm 4.2 on
+// clique queries: deeper levels shrink the space further at increasing
+// refinement cost.
+func (r *Runner) AblationRefineLevel() (*stats.Table, error) {
+	if _, err := r.cliqueData(); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Ablation: refinement level l (clique size 5 on PPI)",
+		Headers: []string{"level", "refined_space_log10", "refine_ms"},
+	}
+	rng := newRng(r.Cfg.Seed + 31)
+	queries := make([]*pattern.Pattern, 0, r.Cfg.CliquePerSize)
+	for q := 0; q < r.Cfg.CliquePerSize; q++ {
+		// Clique-sampled queries have answers, so refined spaces stay
+		// non-empty and the per-level means are comparable.
+		if p := gen.GraphCliqueQuery(r.ppi, 5, rng); p != nil {
+			queries = append(queries, p)
+		}
+	}
+	for level := 1; level <= 5; level++ {
+		var space, tms stats.Agg
+		for _, p := range queries {
+			o := match.Options{Exhaustive: false, Prune: match.PruneProfile,
+				Refine: true, RefineLevel: level, CollectStats: true}
+			_, st, err := match.Find(p, r.ppi, r.ppiIx, o)
+			if err != nil {
+				return nil, err
+			}
+			space.Add(match.Log10Space(st.CandRefined))
+			tms.Add(ms(st.RefineTime))
+		}
+		t.AddRow(fmt.Sprint(level), stats.FmtLog(space.Mean()), stats.FmtMs(tms.Mean()))
+	}
+	return t, nil
+}

@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/index"
+	"gqldb/internal/match"
+)
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(100, rng)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// p(0) should be ~ 1/H_100 ≈ 0.192; p(9) ≈ p(0)/10.
+	p0 := float64(counts[0]) / draws
+	if p0 < 0.15 || p0 > 0.25 {
+		t.Errorf("p(0) = %v, want ≈ 0.19", p0)
+	}
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 6 || ratio > 16 {
+		t.Errorf("p(0)/p(9) = %v, want ≈ 10", ratio)
+	}
+}
+
+func TestERShape(t *testing.T) {
+	g := ER(1000, 5000, 100, 7)
+	if g.NumNodes() != 1000 || g.NumEdges() != 5000 {
+		t.Fatalf("shape = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			t.Fatal("self-loop generated")
+		}
+	}
+	// Determinism.
+	g2 := ER(1000, 5000, 100, 7)
+	if g.Signature() != g2.Signature() {
+		t.Error("same seed must give same graph")
+	}
+	g3 := ER(1000, 5000, 100, 8)
+	if g.Signature() == g3.Signature() {
+		t.Error("different seed should give different graph")
+	}
+}
+
+func TestYeastPPIShape(t *testing.T) {
+	g := YeastPPI(1)
+	if g.NumNodes() != 3112 {
+		t.Errorf("nodes = %d, want 3112", g.NumNodes())
+	}
+	if g.NumEdges() != 12519 {
+		t.Errorf("edges = %d, want 12519", g.NumEdges())
+	}
+	ix := index.BuildLabelIndex(g)
+	if got := len(ix.TopLabels(1000)); got > 183 {
+		t.Errorf("labels = %d, want <= 183", got)
+	}
+	// Heavy tail: the max degree should far exceed the average (~8).
+	maxDeg := 0
+	for _, n := range g.Nodes() {
+		if d := g.Degree(n.ID); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 30 {
+		t.Errorf("max degree = %d, expected a heavy tail (>30)", maxDeg)
+	}
+	// No parallel edges (interactions are unique pairs).
+	seen := map[[2]graph.NodeID]bool{}
+	for _, e := range g.Edges() {
+		k := [2]graph.NodeID{e.From, e.To}
+		if e.From > e.To {
+			k = [2]graph.NodeID{e.To, e.From}
+		}
+		if seen[k] {
+			t.Fatal("parallel edge generated")
+		}
+		seen[k] = true
+	}
+}
+
+func TestCliqueQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := []string{"A", "B", "C"}
+	for size := 2; size <= 7; size++ {
+		p := CliqueQuery(size, pool, rng)
+		if p.Size() != size {
+			t.Fatalf("size = %d", p.Size())
+		}
+		if got, want := p.Motif.NumEdges(), size*(size-1)/2; got != want {
+			t.Fatalf("edges = %d, want %d", got, want)
+		}
+		if err := p.Compile(); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < size; u++ {
+			if _, ok := p.ConstLabel(graph.NodeID(u)); !ok {
+				t.Fatal("clique node lacks const label")
+			}
+		}
+	}
+}
+
+func TestSubgraphQueryAlwaysMatches(t *testing.T) {
+	g := ER(500, 2500, 20, 11)
+	ix := match.BuildIndex(g, 1, false)
+	rng := rand.New(rand.NewSource(5))
+	for size := 4; size <= 12; size += 4 {
+		for i := 0; i < 5; i++ {
+			p := SubgraphQuery(g, size, rng)
+			if p == nil {
+				t.Fatalf("no query extracted at size %d", size)
+			}
+			if p.Size() != size {
+				t.Fatalf("query size = %d, want %d", p.Size(), size)
+			}
+			ok, err := match.Exists(p, g, ix, match.Optimized())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("extracted subgraph of size %d not found", size)
+			}
+		}
+	}
+}
+
+func TestDBLPCollection(t *testing.T) {
+	coll := DBLP(100, 50, []string{"SIGMOD", "VLDB"}, 9)
+	if len(coll) != 100 {
+		t.Fatalf("papers = %d", len(coll))
+	}
+	venues := map[string]int{}
+	for _, g := range coll {
+		if g.Attrs.Tag != "inproceedings" {
+			t.Fatal("paper without inproceedings tag")
+		}
+		venues[g.Attrs.GetOr("booktitle").AsString()]++
+		if g.NumNodes() < 1 || g.NumNodes() > 5 {
+			t.Fatalf("paper with %d authors", g.NumNodes())
+		}
+		for _, n := range g.Nodes() {
+			if n.Attrs.Tag != "author" {
+				t.Fatal("non-author node in paper")
+			}
+		}
+	}
+	if venues["SIGMOD"] == 0 || venues["VLDB"] == 0 {
+		t.Errorf("venues = %v", venues)
+	}
+}
+
+func TestLabelDistributionOfER(t *testing.T) {
+	g := ER(10000, 50000, 100, 13)
+	ix := index.BuildLabelIndex(g)
+	top := ix.TopLabels(2)
+	// Zipf: the most frequent label should be roughly twice the second.
+	f0, f1 := ix.Freq(top[0]), ix.Freq(top[1])
+	ratio := float64(f0) / float64(f1)
+	if math.Abs(ratio-2) > 0.7 {
+		t.Errorf("f0/f1 = %v, want ≈ 2", ratio)
+	}
+}

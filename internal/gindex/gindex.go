@@ -1,0 +1,220 @@
+// Package gindex implements a path-feature graph index for collections of
+// small graphs — the access method of the paper's first graph-database
+// category (§4: "a large collection of small graphs ... A number of graph
+// indexing techniques have been proposed to address this challenge",
+// citing GraphGrep-style enumerated-path indexing [34]). The index plays
+// the role B-trees play for relational databases: a query pattern's path
+// features select a small candidate subset of the collection, and only
+// candidates undergo the (NP-hard) pattern matching.
+//
+// The filter is sound for label patterns: every label path of length ≤ L
+// occurring in the pattern must occur (with at least the same multiplicity)
+// in a containing graph, so non-candidates can be skipped without
+// verification.
+package gindex
+
+import (
+	"sort"
+	"strings"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+)
+
+// Index is an inverted index from path features to the graphs containing
+// them, with per-graph feature counts.
+type Index struct {
+	// MaxLen is the maximum feature path length in edges (GraphGrep uses
+	// small values; 3 is a common default — paths of 1..MaxLen edges plus
+	// single-node features).
+	MaxLen int
+	coll   graph.Collection
+	// postings maps a feature to (graph ordinal -> count).
+	postings map[string]map[int32]int32
+}
+
+// Build enumerates the path features of every graph in the collection.
+func Build(c graph.Collection, maxLen int) *Index {
+	ix := &Index{MaxLen: maxLen, coll: c, postings: make(map[string]map[int32]int32)}
+	for gi, g := range c {
+		for f, n := range pathFeatures(g, maxLen) {
+			m, ok := ix.postings[f]
+			if !ok {
+				m = make(map[int32]int32)
+				ix.postings[f] = m
+			}
+			m[int32(gi)] = n
+		}
+	}
+	return ix
+}
+
+// pathFeatures counts the label paths of length 0..maxLen edges in g.
+// Paths are simple (no repeated node) and counted once per direction-
+// normalized occurrence (a path and its reverse are the same feature for
+// undirected graphs).
+func pathFeatures(g *graph.Graph, maxLen int) map[string]int32 {
+	out := make(map[string]int32)
+	labels := make([]string, g.NumNodes())
+	for i := range labels {
+		labels[i] = g.Label(graph.NodeID(i))
+		out[labels[i]]++
+	}
+	// DFS enumeration of simple paths up to maxLen edges from every node.
+	onPath := make([]bool, g.NumNodes())
+	path := make([]graph.NodeID, 0, maxLen+1)
+	var rec func(v graph.NodeID)
+	rec = func(v graph.NodeID) {
+		path = append(path, v)
+		onPath[v] = true
+		if len(path) >= 2 {
+			if feat, canonical := featureOf(g, labels, path); canonical {
+				out[feat]++
+			}
+		}
+		if len(path) <= maxLen {
+			for _, h := range g.Adj(v) {
+				if !onPath[h.To] {
+					rec(h.To)
+				}
+			}
+		}
+		onPath[v] = false
+		path = path[:len(path)-1]
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		rec(graph.NodeID(v))
+	}
+	return out
+}
+
+// featureOf renders a path's label string and reports whether this
+// traversal is the canonical direction (for undirected graphs each path is
+// enumerated in both directions; only the lexicographically-smaller
+// rendering counts, with node-ID tie-break so palindromic label paths
+// count exactly once).
+func featureOf(g *graph.Graph, labels []string, path []graph.NodeID) (string, bool) {
+	n := len(path)
+	parts := make([]string, n)
+	rev := make([]string, n)
+	for i, v := range path {
+		parts[i] = labels[v]
+		rev[n-1-i] = labels[v]
+	}
+	feat := strings.Join(parts, "\x00")
+	if g.Directed {
+		return "d:" + feat, true
+	}
+	featR := strings.Join(rev, "\x00")
+	switch {
+	case feat < featR:
+		return feat, true
+	case feat > featR:
+		return feat, false
+	default:
+		// Palindromic labels: canonical iff forward by endpoint node IDs
+		// (endpoints of a simple path are distinct).
+		return feat, path[0] < path[n-1]
+	}
+}
+
+// Candidates returns the ordinals of graphs that may contain the pattern:
+// for every path feature of the pattern's motif (using constant node
+// labels), the graph must contain the feature with at least the same
+// count. Patterns with non-constant labels fall back to all graphs.
+func (ix *Index) Candidates(p *pattern.Pattern) ([]int32, error) {
+	if err := p.Compile(); err != nil {
+		return nil, err
+	}
+	qg, ok := labelledMotif(p)
+	if !ok {
+		return ix.all(), nil
+	}
+	feats := pathFeatures(qg, ix.MaxLen)
+	// Start from the rarest feature's posting list and intersect.
+	type fc struct {
+		f string
+		n int32
+	}
+	ordered := make([]fc, 0, len(feats))
+	for f, n := range feats {
+		ordered = append(ordered, fc{f, n})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return len(ix.postings[ordered[i].f]) < len(ix.postings[ordered[j].f])
+	})
+	var cands []int32
+	for i, q := range ordered {
+		post := ix.postings[q.f]
+		if i == 0 {
+			for gi, n := range post {
+				if n >= q.n {
+					cands = append(cands, gi)
+				}
+			}
+			sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+			continue
+		}
+		kept := cands[:0]
+		for _, gi := range cands {
+			if post[gi] >= q.n {
+				kept = append(kept, gi)
+			}
+		}
+		cands = kept
+		if len(cands) == 0 {
+			return nil, nil
+		}
+	}
+	return cands, nil
+}
+
+func (ix *Index) all() []int32 {
+	out := make([]int32, len(ix.coll))
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// labelledMotif converts the pattern motif into a labelled graph when every
+// node has a constant label constraint.
+func labelledMotif(p *pattern.Pattern) (*graph.Graph, bool) {
+	m := p.Motif
+	g := graph.New("q")
+	g.Directed = m.Directed
+	for _, n := range m.Nodes() {
+		l, ok := p.ConstLabel(n.ID)
+		if !ok {
+			return nil, false
+		}
+		g.AddNode(n.Name, graph.TupleOf("", "label", l))
+	}
+	for _, e := range m.Edges() {
+		g.AddEdge(e.Name, e.From, e.To, nil)
+	}
+	return g, true
+}
+
+// Select runs filter-then-verify selection over the indexed collection:
+// candidate graphs from the path index, exact matching (with opt) on each.
+// It returns the matching graphs' ordinals and the number of candidates
+// verified (the filter's work measure).
+func (ix *Index) Select(p *pattern.Pattern, opt match.Options) (hits []int32, verified int, err error) {
+	cands, err := ix.Candidates(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, gi := range cands {
+		ok, err := match.Exists(p, ix.coll[gi], nil, opt)
+		if err != nil {
+			return nil, verified, err
+		}
+		verified++
+		if ok {
+			hits = append(hits, gi)
+		}
+	}
+	return hits, verified, nil
+}

@@ -1,0 +1,230 @@
+package gindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+)
+
+func mkGraph(name string, labels string, edges [][2]int) *graph.Graph {
+	g := graph.New(name)
+	for _, c := range labels {
+		g.AddNode("", graph.TupleOf("", "label", string(c)))
+	}
+	for _, e := range edges {
+		g.AddEdge("", graph.NodeID(e[0]), graph.NodeID(e[1]), nil)
+	}
+	return g
+}
+
+func pathPattern(labels string) *pattern.Pattern {
+	p := pattern.New("Q")
+	var prev graph.NodeID
+	for i, c := range labels {
+		id := p.LabelNode("", string(c))
+		if i > 0 {
+			p.AddEdge("", prev, id, nil, nil)
+		}
+		prev = id
+	}
+	return p
+}
+
+func TestPathFeatures(t *testing.T) {
+	// Triangle A-B-C: 3 single labels, 3 paths of 1 edge, 3 of 2 edges.
+	g := mkGraph("t", "ABC", [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	feats := pathFeatures(g, 2)
+	oneEdge, twoEdge, nodes := 0, 0, 0
+	for f, n := range feats {
+		switch countSep(f) {
+		case 0:
+			nodes += int(n)
+		case 1:
+			oneEdge += int(n)
+		case 2:
+			twoEdge += int(n)
+		}
+	}
+	if nodes != 3 || oneEdge != 3 || twoEdge != 3 {
+		t.Errorf("features = %d/%d/%d, want 3/3/3 (%v)", nodes, oneEdge, twoEdge, feats)
+	}
+}
+
+func countSep(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPalindromeCountedOnce(t *testing.T) {
+	// Path A-B-A: the 2-edge feature A,B,A is palindromic and must count
+	// exactly once.
+	g := mkGraph("p", "ABA", [][2]int{{0, 1}, {1, 2}})
+	feats := pathFeatures(g, 2)
+	key := "A\x00B\x00A"
+	if feats[key] != 1 {
+		t.Errorf("palindromic path counted %d times, want 1", feats[key])
+	}
+}
+
+func TestCandidatesFilter(t *testing.T) {
+	coll := graph.Collection{
+		mkGraph("g0", "ABC", [][2]int{{0, 1}, {1, 2}}),         // path A-B-C
+		mkGraph("g1", "AB", [][2]int{{0, 1}}),                  // edge A-B
+		mkGraph("g2", "ABC", [][2]int{{0, 1}, {1, 2}, {2, 0}}), // triangle
+		mkGraph("g3", "XYZ", [][2]int{{0, 1}, {1, 2}}),         // other labels
+	}
+	ix := Build(coll, 3)
+	cands, err := ix.Candidates(pathPattern("ABC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32]bool{0: true, 2: true}
+	if len(cands) != 2 || !want[cands[0]] || !want[cands[1]] {
+		t.Errorf("candidates = %v, want {0,2}", cands)
+	}
+	// A pattern absent everywhere filters everything.
+	cands, _ = ix.Candidates(pathPattern("ZZZ"))
+	if len(cands) != 0 {
+		t.Errorf("ZZZ candidates = %v, want none", cands)
+	}
+}
+
+func TestSelectFilterVerify(t *testing.T) {
+	coll := graph.Collection{
+		mkGraph("g0", "ABC", [][2]int{{0, 1}, {1, 2}}),
+		mkGraph("g1", "ACB", [][2]int{{0, 1}, {1, 2}}), // A-C-B: has A,B,C but not path A-B-C
+		mkGraph("g2", "ABC", [][2]int{{0, 1}, {1, 2}, {2, 0}}),
+		mkGraph("g3", "AB", [][2]int{{0, 1}}),
+	}
+	ix := Build(coll, 3)
+	hits, verified, err := ix.Select(pathPattern("ABC"), match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g1 is filtered by the 2-edge feature; g3 by missing C.
+	if verified > 2 {
+		t.Errorf("verified %d graphs, filter should leave at most 2", verified)
+	}
+	if len(hits) != 2 || hits[0] != 0 || hits[1] != 2 {
+		t.Errorf("hits = %v, want [0 2]", hits)
+	}
+}
+
+func TestNonConstLabelFallsBack(t *testing.T) {
+	coll := graph.Collection{mkGraph("g0", "AB", [][2]int{{0, 1}})}
+	ix := Build(coll, 2)
+	p := pattern.New("Q")
+	p.AddNode("v", nil, nil) // unconstrained node
+	cands, err := ix.Candidates(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Errorf("fallback should return all graphs, got %v", cands)
+	}
+}
+
+// TestFilterNeverDropsAnswers: cross-validate filter+verify against full
+// scan on random collections and extracted patterns (the filter must be
+// sound — zero false dismissals).
+func TestFilterNeverDropsAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		var coll graph.Collection
+		for i := 0; i < 30; i++ {
+			n := 3 + rng.Intn(5)
+			g := graph.New(fmt.Sprintf("g%d", i))
+			for j := 0; j < n; j++ {
+				g.AddNode("", graph.TupleOf("", "label", string(rune('A'+rng.Intn(3)))))
+			}
+			for j := 1; j < n; j++ {
+				g.AddEdge("", graph.NodeID(rng.Intn(j)), graph.NodeID(j), nil)
+			}
+			coll = append(coll, g)
+		}
+		// Extract a pattern from a random member so answers exist.
+		src := coll[rng.Intn(len(coll))]
+		p := pattern.New("Q")
+		k := 2 + rng.Intn(2)
+		ids := map[graph.NodeID]graph.NodeID{}
+		start := graph.NodeID(rng.Intn(src.NumNodes()))
+		frontier := []graph.NodeID{start}
+		ids[start] = p.LabelNode("", src.Label(start))
+		for len(ids) < k && len(frontier) > 0 {
+			v := frontier[0]
+			frontier = frontier[1:]
+			for _, h := range src.Adj(v) {
+				if _, ok := ids[h.To]; !ok && len(ids) < k {
+					ids[h.To] = p.LabelNode("", src.Label(h.To))
+					p.AddEdge("", ids[v], ids[h.To], nil, nil)
+					frontier = append(frontier, h.To)
+				}
+			}
+		}
+		ix := Build(coll, 3)
+		hits, verified, err := ix.Select(p, match.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ground truth: scan everything.
+		var want []int32
+		for gi, g := range coll {
+			ok, err := match.Exists(p, g, nil, match.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				want = append(want, int32(gi))
+			}
+		}
+		if fmt.Sprint(hits) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: filter changed answers: %v vs %v", trial, hits, want)
+		}
+		if verified > len(coll) {
+			t.Fatalf("verified more than collection size")
+		}
+	}
+}
+
+func BenchmarkFilterVsScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	var coll graph.Collection
+	for i := 0; i < 2000; i++ {
+		n := 5 + rng.Intn(6)
+		g := graph.New(fmt.Sprintf("g%d", i))
+		for j := 0; j < n; j++ {
+			g.AddNode("", graph.TupleOf("", "label", string(rune('A'+rng.Intn(6)))))
+		}
+		for j := 1; j < n; j++ {
+			g.AddEdge("", graph.NodeID(rng.Intn(j)), graph.NodeID(j), nil)
+		}
+		coll = append(coll, g)
+	}
+	p := pathPattern("ABCD")
+	ix := Build(coll, 3)
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.Select(p, match.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range coll {
+				if _, err := match.Exists(p, g, nil, match.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func richGraph() *Graph {
+	g := NewDirected("rich")
+	g.Attrs = TupleOf("meta", "version", 2, "ratio", 0.5, "ok", true)
+	a := g.AddNode("a", TupleOf("author", "name", "A", "h", 3.25))
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", TupleOf("", "flag", false))
+	g.AddEdge("e1", a, b, TupleOf("rel", "kind", "cites"))
+	g.AddEdge("e2", b, c, nil)
+	g.AddEdge("e3", c, a, TupleOf("", "w", int64(-9)))
+	return g
+}
+
+func TestBinaryRoundtrip(t *testing.T) {
+	in := NewCollection(richGraph(), New("empty"))
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("graphs = %d", len(out))
+	}
+	for i := range in {
+		if in[i].Signature() != out[i].Signature() {
+			t.Errorf("graph %d changed:\n%s\nvs\n%s", i, in[i].Signature(), out[i].Signature())
+		}
+		if in[i].Directed != out[i].Directed || in[i].Name != out[i].Name {
+			t.Errorf("graph %d header changed", i)
+		}
+	}
+	// Value kinds precise: float and negative int survive.
+	g := out[0]
+	if g.Attrs.GetOr("ratio").AsFloat() != 0.5 {
+		t.Error("float attr lost precision")
+	}
+	e3, _ := g.EdgeByName("e3")
+	if g.Edge(e3).Attrs.GetOr("w").AsInt() != -9 {
+		t.Error("negative int attr lost")
+	}
+}
+
+func TestBinaryRoundtripSpecialFloats(t *testing.T) {
+	g := New("f")
+	g.AddNode("v", TupleOf("", "inf", math.Inf(1), "tiny", math.SmallestNonzeroFloat64))
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewCollection(g)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := out[0].Node(0).Attrs
+	if !math.IsInf(attrs.GetOr("inf").AsFloat(), 1) {
+		t.Error("+Inf lost")
+	}
+	if attrs.GetOr("tiny").AsFloat() != math.SmallestNonzeroFloat64 {
+		t.Error("denormal lost")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,                    // empty
+		[]byte("XXXX\x01\x00"), // bad magic
+		[]byte("GQLB\x09\x00"), // bad version
+		[]byte("GQLB\x01\x05"), // truncated after count
+	}
+	for i, b := range bad {
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	// Truncation anywhere must error, not panic.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewCollection(richGraph())); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated at %d: want error", cut)
+		}
+	}
+}
+
+// Property: random attributed graphs survive the binary roundtrip.
+func TestBinaryRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var coll Collection
+		for gi := 0; gi < 1+rng.Intn(3); gi++ {
+			g := New(strings.Repeat("g", 1+rng.Intn(3)))
+			g.Directed = rng.Intn(2) == 0
+			n := 1 + rng.Intn(8)
+			for i := 0; i < n; i++ {
+				var attrs *Tuple
+				switch rng.Intn(4) {
+				case 0:
+					attrs = nil
+				case 1:
+					attrs = TupleOf("", "x", rng.Intn(100))
+				case 2:
+					attrs = TupleOf("tag", "s", strings.Repeat("a", rng.Intn(5)))
+				default:
+					attrs = TupleOf("", "f", rng.Float64(), "b", rng.Intn(2) == 0)
+				}
+				g.AddNode("", attrs)
+			}
+			for i := rng.Intn(2 * n); i > 0; i-- {
+				g.AddEdge("", NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), nil)
+			}
+			coll = append(coll, g)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, coll); err != nil {
+			return false
+		}
+		out, err := ReadBinary(&buf)
+		if err != nil || len(out) != len(coll) {
+			return false
+		}
+		for i := range coll {
+			if coll[i].Signature() != out[i].Signature() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

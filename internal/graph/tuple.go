@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"sort"
+	"strings"
+)
+
+// Attr is one name/value pair of a tuple.
+type Attr struct {
+	Name string
+	Val  Value
+}
+
+// Tuple is an ordered list of name/value pairs with an optional tag denoting
+// the tuple type (§3.1). Tuples annotate nodes, edges and graphs. Attribute
+// order is preserved for printing; lookup by name is constant-time.
+type Tuple struct {
+	Tag   string
+	attrs []Attr
+	index map[string]int
+}
+
+// NewTuple returns an empty tuple with the given tag. An empty tag means the
+// tuple is untyped.
+func NewTuple(tag string) *Tuple {
+	return &Tuple{Tag: tag}
+}
+
+// TupleOf builds a tuple from alternating name, value pairs; convenient in
+// tests and generators.
+func TupleOf(tag string, pairs ...any) *Tuple {
+	t := NewTuple(tag)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		name := pairs[i].(string)
+		switch v := pairs[i+1].(type) {
+		case Value:
+			t.Set(name, v)
+		case int:
+			t.Set(name, Int(int64(v)))
+		case int64:
+			t.Set(name, Int(v))
+		case float64:
+			t.Set(name, Float(v))
+		case string:
+			t.Set(name, String(v))
+		case bool:
+			t.Set(name, Bool(v))
+		default:
+			panic("graph: TupleOf: unsupported value type")
+		}
+	}
+	return t
+}
+
+// Len returns the number of attributes. A nil tuple has length zero.
+func (t *Tuple) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.attrs)
+}
+
+// At returns the i-th attribute in declaration order.
+func (t *Tuple) At(i int) Attr { return t.attrs[i] }
+
+// Set stores an attribute, replacing any existing attribute of the same name
+// while keeping its position.
+func (t *Tuple) Set(name string, v Value) {
+	if t.index == nil {
+		t.index = make(map[string]int, 4)
+	}
+	if i, ok := t.index[name]; ok {
+		t.attrs[i].Val = v
+		return
+	}
+	t.index[name] = len(t.attrs)
+	t.attrs = append(t.attrs, Attr{Name: name, Val: v})
+}
+
+// Get returns the value of the named attribute and whether it is present.
+// A nil tuple has no attributes.
+func (t *Tuple) Get(name string) (Value, bool) {
+	if t == nil || t.index == nil {
+		return Null, false
+	}
+	i, ok := t.index[name]
+	if !ok {
+		return Null, false
+	}
+	return t.attrs[i].Val, true
+}
+
+// GetOr returns the named attribute or Null when absent.
+func (t *Tuple) GetOr(name string) Value {
+	v, _ := t.Get(name)
+	return v
+}
+
+// Clone returns a deep copy. Cloning nil yields nil.
+func (t *Tuple) Clone() *Tuple {
+	if t == nil {
+		return nil
+	}
+	c := &Tuple{Tag: t.Tag, attrs: append([]Attr(nil), t.attrs...)}
+	if t.index != nil {
+		c.index = make(map[string]int, len(t.index))
+		for k, v := range t.index {
+			c.index[k] = v
+		}
+	}
+	return c
+}
+
+// Equal reports whether two tuples have the same tag and the same attribute
+// set (order-insensitive). Nil and empty tuples are equal.
+func (t *Tuple) Equal(u *Tuple) bool {
+	if t.Len() != u.Len() {
+		return false
+	}
+	tag1, tag2 := "", ""
+	if t != nil {
+		tag1 = t.Tag
+	}
+	if u != nil {
+		tag2 = u.Tag
+	}
+	if tag1 != tag2 {
+		return false
+	}
+	for i := 0; i < t.Len(); i++ {
+		a := t.At(i)
+		v, ok := u.Get(a.Name)
+		if !ok || !v.Equal(a.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple in the language's angle-bracket syntax, e.g.
+// <author name="A", year=2006>. An empty untagged tuple renders as "".
+func (t *Tuple) String() string {
+	if t.Len() == 0 && (t == nil || t.Tag == "") {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('<')
+	if t.Tag != "" {
+		b.WriteString(t.Tag)
+		if len(t.attrs) > 0 {
+			b.WriteByte(' ')
+		}
+	}
+	for i, a := range t.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		b.WriteByte('=')
+		b.WriteString(a.Val.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Names returns the attribute names in sorted order; used by the RA bridge
+// to derive a schema from single-node graphs.
+func (t *Tuple) Names() []string {
+	if t.Len() == 0 {
+		return nil
+	}
+	names := make([]string, 0, t.Len())
+	for _, a := range t.attrs {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}

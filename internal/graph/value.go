@@ -1,0 +1,208 @@
+// Package graph implements the attributed multigraph data model of GraphQL
+// (He & Singh, SIGMOD 2008, §3.1): graphs whose nodes, edges and the graph
+// itself carry tuples — tagged lists of name/value pairs. Graphs are the
+// basic unit of information; collections of graphs are the operands of the
+// graph algebra.
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the primitive attribute value types of the data model.
+type Kind uint8
+
+// Value kinds. Null is the zero Kind so that the zero Value is Null.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the kind name as used in error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed attribute value. The zero Value is Null.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the absent value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is absent.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It is valid only for KindInt values.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the value as a float64, coercing integers.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload. It is valid only for KindString values.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload. It is valid only for KindBool values.
+func (v Value) AsBool() bool { return v.i != 0 }
+
+// Truthy reports whether the value counts as true in a predicate context:
+// true booleans, nonzero numbers and nonempty strings are truthy.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	}
+	return false
+}
+
+// numeric reports whether the value is an int or a float.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports whether two values are equal. Numeric values compare across
+// int/float kinds; values of incomparable kinds are unequal (never an error).
+func (v Value) Equal(w Value) bool {
+	c, err := v.Compare(w)
+	return err == nil && c == 0
+}
+
+// Compare orders two values: -1, 0 or +1. Numbers compare numerically across
+// int/float kinds, strings lexicographically, booleans false<true. Comparing
+// values of incompatible kinds (or nulls) is an error.
+func (v Value) Compare(w Value) (int, error) {
+	switch {
+	case v.numeric() && w.numeric():
+		if v.kind == KindInt && w.kind == KindInt {
+			return cmpOrdered(v.i, w.i), nil
+		}
+		return cmpOrdered(v.AsFloat(), w.AsFloat()), nil
+	case v.kind == KindString && w.kind == KindString:
+		return strings.Compare(v.s, w.s), nil
+	case v.kind == KindBool && w.kind == KindBool:
+		return cmpOrdered(v.i, w.i), nil
+	}
+	return 0, fmt.Errorf("graph: cannot compare %s with %s", v.kind, w.kind)
+}
+
+func cmpOrdered[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String renders the value as it appears in the graph text format: strings
+// are quoted, numbers and booleans are bare, null prints as "null".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.i != 0)
+	}
+	return "?"
+}
+
+// Arith applies a binary arithmetic operator (+ - * /) to two values. String
+// operands support + as concatenation. Integer arithmetic stays integral
+// except division by a float or of non-multiples, which promotes to float.
+func Arith(op byte, a, b Value) (Value, error) {
+	if op == '+' && a.kind == KindString && b.kind == KindString {
+		return String(a.s + b.s), nil
+	}
+	if !a.numeric() || !b.numeric() {
+		return Null, fmt.Errorf("graph: arithmetic %q on %s and %s", op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case '+':
+			return Int(a.i + b.i), nil
+		case '-':
+			return Int(a.i - b.i), nil
+		case '*':
+			return Int(a.i * b.i), nil
+		case '/':
+			if b.i == 0 {
+				return Null, fmt.Errorf("graph: integer division by zero")
+			}
+			if a.i%b.i == 0 {
+				return Int(a.i / b.i), nil
+			}
+			return Float(float64(a.i) / float64(b.i)), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case '+':
+		return Float(x + y), nil
+	case '-':
+		return Float(x - y), nil
+	case '*':
+		return Float(x * y), nil
+	case '/':
+		if y == 0 {
+			return Null, fmt.Errorf("graph: division by zero")
+		}
+		return Float(x / y), nil
+	}
+	return Null, fmt.Errorf("graph: unknown arithmetic operator %q", op)
+}

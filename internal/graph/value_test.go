@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "null"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{String("hi"), KindString, `"hi"`},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.5), -1},
+		{Float(2.0), Int(2), 0},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareIncompatible(t *testing.T) {
+	bad := [][2]Value{
+		{Int(1), String("1")},
+		{Bool(true), Int(1)},
+		{Null, Int(0)},
+		{String("x"), Bool(true)},
+	}
+	for _, p := range bad {
+		if _, err := p[0].Compare(p[1]); err == nil {
+			t.Errorf("Compare(%v,%v): want error", p[0], p[1])
+		}
+	}
+}
+
+func TestValueEqualAcrossNumericKinds(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(3).Equal(String("3")) {
+		t.Error("Int(3) should not equal String(\"3\")")
+	}
+	if !Null.Equal(Null) == false {
+		// Null compares with error, hence unequal — document the behaviour.
+		t.Log("null != null by design (SQL-like)")
+	}
+}
+
+func TestValueTruthy(t *testing.T) {
+	truthy := []Value{Bool(true), Int(1), Int(-1), Float(0.5), String("x")}
+	falsy := []Value{Bool(false), Int(0), Float(0), String(""), Null}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   byte
+		a, b Value
+		want Value
+	}{
+		{'+', Int(2), Int(3), Int(5)},
+		{'-', Int(2), Int(3), Int(-1)},
+		{'*', Int(4), Int(3), Int(12)},
+		{'/', Int(6), Int(3), Int(2)},
+		{'/', Int(7), Int(2), Float(3.5)},
+		{'+', Float(1.5), Int(1), Float(2.5)},
+		{'+', String("ab"), String("cd"), String("abcd")},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("Arith(%c,%v,%v): %v", c.op, c.a, c.b, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Arith(%c,%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	if _, err := Arith('/', Int(1), Int(0)); err == nil {
+		t.Error("integer division by zero: want error")
+	}
+	if _, err := Arith('/', Float(1), Float(0)); err == nil {
+		t.Error("float division by zero: want error")
+	}
+	if _, err := Arith('+', Int(1), String("x")); err == nil {
+		t.Error("int+string: want error")
+	}
+	if _, err := Arith('-', String("a"), String("b")); err == nil {
+		t.Error("string-string: want error")
+	}
+}
+
+// Property: Compare is antisymmetric and Equal is consistent with Compare==0
+// over random int/float values.
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64, fa, fb float64, pick uint8) bool {
+		var x, y Value
+		switch pick % 4 {
+		case 0:
+			x, y = Int(a), Int(b)
+		case 1:
+			x, y = Int(a), Float(fb)
+		case 2:
+			x, y = Float(fa), Int(b)
+		default:
+			x, y = Float(fa), Float(fb)
+		}
+		c1, err1 := x.Compare(y)
+		c2, err2 := y.Compare(x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1 == -c2 && (c1 == 0) == x.Equal(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer addition via Arith matches int64 addition.
+func TestArithAddProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		got, err := Arith('+', Int(int64(a)), Int(int64(b)))
+		return err == nil && got.AsInt() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringQuoting(t *testing.T) {
+	v := String(`he said "hi"`)
+	if !strings.Contains(v.String(), `\"hi\"`) {
+		t.Errorf("String() should quote internal quotes: %s", v)
+	}
+}

@@ -1,0 +1,164 @@
+// Package index implements the access-method support structures of §4.2 and
+// §4.4: a B-tree label index over node attributes, radius-r neighborhood
+// subgraphs and their light-weight profiles for local pruning of feasible
+// mates, and node/edge label frequency statistics for the search-order cost
+// model.
+package index
+
+import (
+	"sort"
+
+	"gqldb/internal/btree"
+	"gqldb/internal/graph"
+)
+
+// Interner maps label strings to dense int32 IDs so profiles and frequency
+// tables work on integers.
+type Interner struct {
+	ids   map[string]int32
+	names []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the ID for label, allocating one if new.
+func (in *Interner) Intern(label string) int32 {
+	if id, ok := in.ids[label]; ok {
+		return id
+	}
+	id := int32(len(in.names))
+	in.ids[label] = id
+	in.names = append(in.names, label)
+	return id
+}
+
+// Lookup returns the ID for label without allocating; ok is false for labels
+// never interned.
+func (in *Interner) Lookup(label string) (int32, bool) {
+	id, ok := in.ids[label]
+	return id, ok
+}
+
+// Name returns the label string for an ID.
+func (in *Interner) Name(id int32) string { return in.names[id] }
+
+// Len returns the number of distinct labels.
+func (in *Interner) Len() int { return len(in.names) }
+
+// LabelIndex indexes the nodes of one graph by their "label" attribute using
+// a B-tree, as §4.2 prescribes for selective node attributes; it also keeps
+// the label/edge frequency statistics the §4.4 cost model needs.
+type LabelIndex struct {
+	In   *Interner
+	tree btree.Tree[string, []graph.NodeID]
+	// nodeLabel[v] is the interned label of node v.
+	nodeLabel []int32
+	// freq[l] counts nodes with label l.
+	freq []int
+	// edgeFreq counts edges by unordered label pair.
+	edgeFreq map[[2]int32]int
+	numNodes int
+	numEdges int
+}
+
+// BuildLabelIndex scans g once and builds the index and statistics.
+func BuildLabelIndex(g *graph.Graph) *LabelIndex {
+	ix := &LabelIndex{
+		In:        NewInterner(),
+		nodeLabel: make([]int32, g.NumNodes()),
+		edgeFreq:  make(map[[2]int32]int),
+		numNodes:  g.NumNodes(),
+		numEdges:  g.NumEdges(),
+	}
+	for _, n := range g.Nodes() {
+		l := g.Label(n.ID)
+		id := ix.In.Intern(l)
+		ix.nodeLabel[n.ID] = id
+		for int(id) >= len(ix.freq) {
+			ix.freq = append(ix.freq, 0)
+		}
+		ix.freq[id]++
+		ix.tree.Update(l, func(old []graph.NodeID, _ bool) []graph.NodeID {
+			return append(old, n.ID)
+		})
+	}
+	for _, e := range g.Edges() {
+		ix.edgeFreq[ix.pairKey(ix.nodeLabel[e.From], ix.nodeLabel[e.To])]++
+	}
+	return ix
+}
+
+func (ix *LabelIndex) pairKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// Lookup returns the nodes carrying the given label, in ID order. The slice
+// is shared and must not be modified.
+func (ix *LabelIndex) Lookup(label string) []graph.NodeID {
+	v, _ := ix.tree.Get(label)
+	return v
+}
+
+// NodeLabelID returns the interned label of node v.
+func (ix *LabelIndex) NodeLabelID(v graph.NodeID) int32 { return ix.nodeLabel[v] }
+
+// Freq returns how many nodes carry the label.
+func (ix *LabelIndex) Freq(label string) int {
+	// The interner is shared with pattern-side neighborhoods, so an ID may
+	// have been allocated after the index was built; such labels have
+	// frequency zero in the data graph.
+	id, ok := ix.In.Lookup(label)
+	if !ok || int(id) >= len(ix.freq) {
+		return 0
+	}
+	return ix.freq[id]
+}
+
+// EdgeFreq returns how many edges join a node labelled a to one labelled b.
+func (ix *LabelIndex) EdgeFreq(a, b string) int {
+	ia, ok1 := ix.In.Lookup(a)
+	ib, ok2 := ix.In.Lookup(b)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return ix.edgeFreq[ix.pairKey(ia, ib)]
+}
+
+// NumNodes returns the indexed graph's node count.
+func (ix *LabelIndex) NumNodes() int { return ix.numNodes }
+
+// NumEdges returns the indexed graph's edge count.
+func (ix *LabelIndex) NumEdges() int { return ix.numEdges }
+
+// TopLabels returns the k most frequent labels, most frequent first; the
+// clique workload of §5.1 draws labels from the top 40.
+func (ix *LabelIndex) TopLabels(k int) []string {
+	type lf struct {
+		name string
+		n    int
+	}
+	all := make([]lf, 0, ix.In.Len())
+	for id, n := range ix.freq {
+		all = append(all, lf{ix.In.Name(int32(id)), n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].name < all[j].name
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package lexer tokenizes GraphQL query text (Appendix 4.A). It is a plain
+// scanner: keywords are ordinary identifiers (the parser gives them
+// meaning), and '<'/'>' are emitted as punctuation that the parser
+// interprets as tuple brackets or comparison operators by context.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int
+	Float
+	Str
+	Punct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Int:
+		return "integer"
+	case Float:
+		return "float"
+	case Str:
+		return "string"
+	case Punct:
+		return "punctuation"
+	}
+	return "?"
+}
+
+// Token is one lexical unit. Text holds the identifier, literal text
+// (unquoted for strings), or punctuation spelling.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == EOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{":=", "==", "!=", ">=", "<="}
+
+const singlePunct = "{}()<>,;.=|&+-*/:"
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Line: lx.line, Col: lx.col}, nil
+	}
+	start := Token{Line: lx.line, Col: lx.col}
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		return lx.ident(start), nil
+	case c >= '0' && c <= '9':
+		return lx.number(start)
+	case c == '"':
+		return lx.str(start)
+	}
+	for _, p := range multiPunct {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.advance(len(p))
+			start.Kind = Punct
+			start.Text = p
+			return start, nil
+		}
+	}
+	if strings.IndexByte(singlePunct, c) >= 0 {
+		lx.advance(1)
+		start.Kind = Punct
+		start.Text = string(c)
+		return start, nil
+	}
+	return Token{}, fmt.Errorf("lexer: line %d col %d: unexpected character %q", lx.line, lx.col, c)
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.advance(2)
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				lx.advance(1)
+			}
+			if lx.pos+1 < len(lx.src) {
+				lx.advance(2)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *Lexer) ident(t Token) Token {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		lx.advance(size)
+	}
+	t.Kind = Ident
+	t.Text = lx.src[start:lx.pos]
+	return t
+}
+
+func (lx *Lexer) number(t Token) (Token, error) {
+	start := lx.pos
+	kind := Int
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.advance(1)
+	}
+	// A fraction part makes it a float; a '.' followed by a non-digit is
+	// left for the parser (qualified names never start with a digit, so
+	// "1." is a malformed float).
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' {
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+			kind = Float
+			lx.advance(1)
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.advance(1)
+			}
+		} else {
+			return Token{}, fmt.Errorf("lexer: line %d: malformed number", t.Line)
+		}
+	}
+	t.Kind = kind
+	t.Text = lx.src[start:lx.pos]
+	return t, nil
+}
+
+func (lx *Lexer) str(t Token) (Token, error) {
+	lx.advance(1) // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case '"':
+			lx.advance(1)
+			t.Kind = Str
+			t.Text = b.String()
+			return t, nil
+		case '\\':
+			if lx.pos+1 >= len(lx.src) {
+				return Token{}, fmt.Errorf("lexer: line %d: unterminated escape", t.Line)
+			}
+			esc := lx.src[lx.pos+1]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(esc)
+			default:
+				return Token{}, fmt.Errorf("lexer: line %d: unknown escape \\%c", t.Line, esc)
+			}
+			lx.advance(2)
+		case '\n':
+			return Token{}, fmt.Errorf("lexer: line %d: newline in string literal", t.Line)
+		default:
+			b.WriteByte(c)
+			lx.advance(1)
+		}
+	}
+	return Token{}, fmt.Errorf("lexer: line %d: unterminated string literal", t.Line)
+}

@@ -1,0 +1,133 @@
+package lexer
+
+import (
+	"testing"
+)
+
+func kinds(t *testing.T, src string) ([]Kind, []string) {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	var ks []Kind
+	var txt []string
+	for _, tok := range toks {
+		ks = append(ks, tok.Kind)
+		txt = append(txt, tok.Text)
+	}
+	return ks, txt
+}
+
+func TestBasicTokens(t *testing.T) {
+	ks, txt := kinds(t, `graph G1 <a=1>`)
+	want := []struct {
+		k Kind
+		s string
+	}{
+		{Ident, "graph"}, {Ident, "G1"}, {Punct, "<"},
+		{Ident, "a"}, {Punct, "="}, {Int, "1"}, {Punct, ">"}, {EOF, ""},
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(ks), len(want), txt)
+	}
+	for i, w := range want {
+		if ks[i] != w.k || txt[i] != w.s {
+			t.Errorf("token %d = (%v,%q), want (%v,%q)", i, ks[i], txt[i], w.k, w.s)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	ks, txt := kinds(t, `12 3.5 0.25`)
+	if ks[0] != Int || txt[0] != "12" {
+		t.Errorf("int: %v %q", ks[0], txt[0])
+	}
+	if ks[1] != Float || txt[1] != "3.5" {
+		t.Errorf("float: %v %q", ks[1], txt[1])
+	}
+	if ks[2] != Float || txt[2] != "0.25" {
+		t.Errorf("float: %v %q", ks[2], txt[2])
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	_, txt := kinds(t, `"a\"b" "tab\t" "nl\n" "bs\\"`)
+	want := []string{`a"b`, "tab\t", "nl\n", `bs\`}
+	for i, w := range want {
+		if txt[i] != w {
+			t.Errorf("string %d = %q, want %q", i, txt[i], w)
+		}
+	}
+}
+
+func TestMultiCharPunct(t *testing.T) {
+	_, txt := kinds(t, `:= == != >= <= < > =`)
+	want := []string{":=", "==", "!=", ">=", "<=", "<", ">", "="}
+	for i, w := range want {
+		if txt[i] != w {
+			t.Errorf("punct %d = %q, want %q", i, txt[i], w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	ks, txt := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	var idents []string
+	for i, k := range ks {
+		if k == Ident {
+			idents = append(idents, txt[i])
+		}
+	}
+	if len(idents) != 3 || idents[0] != "a" || idents[1] != "b" || idents[2] != "c" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	ks, txt := kinds(t, "naïve_1 β")
+	if ks[0] != Ident || txt[0] != "naïve_1" {
+		t.Errorf("unicode ident: %v %q", ks[0], txt[0])
+	}
+	if ks[1] != Ident || txt[1] != "β" {
+		t.Errorf("unicode ident: %v %q", ks[1], txt[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`"bad \q"`,
+		"\"new\nline\"",
+		"@",
+		"1.",
+		`"trailing \`,
+	} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): want error", src)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Tokenize("x")
+	if toks[0].String() != `"x"` {
+		t.Errorf("String = %s", toks[0].String())
+	}
+	if toks[1].String() != "end of input" {
+		t.Errorf("EOF String = %s", toks[1].String())
+	}
+}

@@ -1,0 +1,170 @@
+package match
+
+import (
+	"gqldb/internal/bipartite"
+	"gqldb/internal/graph"
+)
+
+// refine implements Algorithm 4.2: iterated joint reduction of the search
+// space by pseudo subgraph isomorphism. A pair (u, v) survives a level only
+// if the bipartite graph between u's pattern neighbors and v's data
+// neighbors — with an edge (u', v') when v' is still a feasible mate of
+// u' — has a semi-perfect matching. Failing pairs remove v from Φ(u) and
+// re-mark the affected neighboring pairs, propagating the reduction
+// globally. Marked pairs are kept in a hashtable, not a matrix (§4.3).
+//
+// For directed motifs the neighbor sets union in- and out-neighbors; this
+// relaxation stays sound (it can only under-prune, never remove a true
+// match).
+func (s *searcher) refine() {
+	n := s.p.Size()
+	if n == 0 {
+		return
+	}
+	level := s.opt.RefineLevel
+	if level <= 0 {
+		level = n
+	}
+
+	// Membership bitsets over data nodes, one per pattern node.
+	words := (s.g.NumNodes() + 63) / 64
+	member := make([][]uint64, n)
+	for u := 0; u < n; u++ {
+		member[u] = make([]uint64, words)
+		for _, v := range s.phi[u] {
+			member[u][v/64] |= 1 << (v % 64)
+		}
+	}
+	in := func(u int, v graph.NodeID) bool {
+		return member[u][v/64]&(1<<(v%64)) != 0
+	}
+	remove := func(u int, v graph.NodeID) {
+		member[u][v/64] &^= 1 << (v % 64)
+	}
+
+	// Distinct pattern neighbors of each pattern node.
+	pnbrs := make([][]graph.NodeID, n)
+	for _, e := range s.p.Motif.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		pnbrs[e.From] = appendDistinct(pnbrs[e.From], e.To)
+		pnbrs[e.To] = appendDistinct(pnbrs[e.To], e.From)
+	}
+
+	type pair struct {
+		u int32
+		v graph.NodeID
+	}
+	// Mark every pair initially (Algorithm 4.2 line 2).
+	cur := make([]pair, 0, 256)
+	for u := 0; u < n; u++ {
+		for _, v := range s.phi[u] {
+			cur = append(cur, pair{int32(u), v})
+		}
+	}
+
+	var m bipartite.Matcher
+	var bg bipartite.Graph
+	var dnbrs []graph.NodeID
+	inNext := make(map[pair]bool)
+	var next []pair
+	// Epoch-stamped scratch for deduplicating data neighbors without
+	// allocating per pair.
+	stamp := make([]int32, s.g.NumNodes())
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	epoch := int32(0)
+
+	for lvl := 1; lvl <= level && len(cur) > 0; lvl++ {
+		next = next[:0]
+		clear(inNext)
+		for _, pr := range cur {
+			u, v := int(pr.u), pr.v
+			if !in(u, v) {
+				continue // already removed by an earlier pair this level
+			}
+			if len(pnbrs[u]) == 0 {
+				continue // isolated pattern node: trivially feasible
+			}
+			// Distinct data neighbors of v.
+			dnbrs = dataNeighbors(s.g, v, dnbrs[:0], stamp, epoch)
+			epoch++
+			// Bipartite graph B(u,v): left = pattern neighbors, right =
+			// data neighbors; edge iff membership (line 8).
+			if cap(bg.Adj) < len(pnbrs[u]) {
+				bg.Adj = make([][]int32, len(pnbrs[u]))
+			}
+			bg.Adj = bg.Adj[:len(pnbrs[u])]
+			bg.NRight = len(dnbrs)
+			for i, up := range pnbrs[u] {
+				row := bg.Adj[i][:0]
+				for j, vp := range dnbrs {
+					if in(int(up), vp) {
+						row = append(row, int32(j))
+					}
+				}
+				bg.Adj[i] = row
+			}
+			if m.SemiPerfect(bg) {
+				continue // unmark (line 11)
+			}
+			// Remove v from Φ(u) and re-mark affected pairs (lines 13–15).
+			remove(u, v)
+			for _, up := range pnbrs[u] {
+				for _, vp := range dnbrs {
+					if in(int(up), vp) {
+						p2 := pair{int32(up), vp}
+						if !inNext[p2] {
+							inNext[p2] = true
+							next = append(next, p2)
+						}
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+
+	// Rebuild the feasible-mate lists from the bitsets, preserving order.
+	for u := 0; u < n; u++ {
+		kept := s.phi[u][:0:0]
+		for _, v := range s.phi[u] {
+			if in(u, v) {
+				kept = append(kept, v)
+			}
+		}
+		s.phi[u] = kept
+	}
+}
+
+func appendDistinct(list []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}
+
+// dataNeighbors collects the distinct neighbors of v (union of out and in
+// for directed graphs), excluding v itself, deduplicating with the
+// caller-provided epoch stamps.
+func dataNeighbors(g *graph.Graph, v graph.NodeID, buf []graph.NodeID, stamp []int32, epoch int32) []graph.NodeID {
+	for _, h := range g.Adj(v) {
+		if h.To != v && stamp[h.To] != epoch {
+			stamp[h.To] = epoch
+			buf = append(buf, h.To)
+		}
+	}
+	if g.Directed {
+		for _, h := range g.InAdj(v) {
+			if h.To != v && stamp[h.To] != epoch {
+				stamp[h.To] = epoch
+				buf = append(buf, h.To)
+			}
+		}
+	}
+	return buf
+}

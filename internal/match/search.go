@@ -1,0 +1,443 @@
+package match
+
+import (
+	"fmt"
+	"time"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+	"gqldb/internal/index"
+	"gqldb/internal/pattern"
+)
+
+// searcher carries the state of one Find evaluation.
+type searcher struct {
+	p     *pattern.Pattern
+	g     *graph.Graph
+	ix    *Index
+	opt   Options
+	stats *Stats
+
+	// phi[u] is the current feasible-mate list of pattern node u.
+	phi [][]graph.NodeID
+	// order[i] is the pattern node searched at depth i; pos is its inverse.
+	order []graph.NodeID
+	pos   []int
+	// padj[u] lists pattern half-edges incident to u (both directions for
+	// directed motifs, annotated with orientation).
+	padj [][]pHalf
+
+	// Search state.
+	assign   []graph.NodeID // pattern node -> data node (NoNode if free)
+	edgeMap  []graph.EdgeID // pattern edge -> witnessing data edge
+	usedData map[graph.NodeID]bool
+	out      []Mapping
+	done     bool
+
+	// AdjIterate support: per-pattern-node membership sets over phi and
+	// per-depth candidate buffers.
+	member  []map[graph.NodeID]bool
+	candBuf [][]graph.NodeID
+}
+
+// pHalf is a pattern half-edge: edge ID, the opposite endpoint, and whether
+// the edge is oriented out of the owning node (meaningful when directed).
+type pHalf struct {
+	edge graph.EdgeID
+	to   graph.NodeID
+	out  bool
+}
+
+func (s *searcher) run() error {
+	n := s.p.Size()
+	s.stats.CandBaseline = make([]int, n)
+	s.stats.CandLocal = make([]int, n)
+	s.stats.CandRefined = make([]int, n)
+
+	start := time.Now()
+	if err := s.retrieve(); err != nil {
+		return err
+	}
+	s.stats.RetrieveTime = time.Since(start)
+
+	if s.opt.Refine {
+		start = time.Now()
+		s.refine()
+		s.stats.RefineTime = time.Since(start)
+	}
+	for u := range s.phi {
+		s.stats.CandRefined[u] = len(s.phi[u])
+	}
+
+	start = time.Now()
+	s.plan()
+	s.stats.OrderTime = time.Since(start)
+	s.stats.Order = append([]graph.NodeID(nil), s.order...)
+
+	start = time.Now()
+	s.search()
+	s.stats.SearchTime = time.Since(start)
+	s.stats.NumMatches = len(s.out)
+	return nil
+}
+
+// retrieve fills phi with the feasible mates of every pattern node
+// (Definition 4.8), using the label index where a constant label constraint
+// exists and applying the §4.2 local pruning.
+func (s *searcher) retrieve() error {
+	n := s.p.Size()
+	s.phi = make([][]graph.NodeID, n)
+
+	var pprof [][]int32
+	var psubs []*index.NbrSub
+	if s.opt.Prune != PruneNone && s.ix != nil && s.ix.Nbr != nil {
+		pprof, psubs = patternNeighborhoods(s.p, s.ix.Labels.In, s.ix.Nbr.Radius, s.opt.Prune == PruneSubgraph)
+	}
+
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		var cands []graph.NodeID
+		if s.ix != nil {
+			if label, ok := s.p.ConstLabel(uid); ok {
+				cands = s.ix.Labels.Lookup(label)
+			}
+		}
+		if cands == nil {
+			cands = allNodes(s.g)
+		}
+		list := make([]graph.NodeID, 0, len(cands))
+		for _, v := range cands {
+			ok, err := s.p.NodeMatches(uid, s.g.Node(v).Attrs)
+			if err != nil {
+				return fmt.Errorf("match: node predicate on %s: %w", s.p.Motif.Node(uid).Name, err)
+			}
+			if ok {
+				list = append(list, v)
+			}
+		}
+		s.stats.CandBaseline[u] = len(list)
+
+		// The two local pruning methods are alternatives (§4.2): profiles
+		// are the light-weight stand-in for the exact neighborhood
+		// subgraph test, so the subgraph path must not piggy-back on the
+		// profile check — the paper's Figure 4.21(a) measures their costs
+		// separately.
+		switch {
+		case pprof != nil && s.opt.Prune == PruneProfile:
+			pruned := list[:0:0]
+			for _, v := range list {
+				if index.ProfileContains(s.ix.Nbr.Profiles[v], pprof[u]) {
+					pruned = append(pruned, v)
+				}
+			}
+			list = pruned
+		case pprof != nil && s.opt.Prune == PruneSubgraph:
+			pruned := list[:0:0]
+			for _, v := range list {
+				switch {
+				case psubs[u] != nil && s.ix.Nbr.Subs != nil:
+					if index.SubIsomorphic(psubs[u], s.ix.Nbr.Subs[v]) {
+						pruned = append(pruned, v)
+					}
+				case index.ProfileContains(s.ix.Nbr.Profiles[v], pprof[u]):
+					// No exact pattern neighborhood available (some node
+					// lacks a constant label): fall back to profiles.
+					pruned = append(pruned, v)
+				}
+			}
+			list = pruned
+		}
+		s.stats.CandLocal[u] = len(list)
+		s.phi[u] = list
+	}
+	return nil
+}
+
+func allNodes(g *graph.Graph) []graph.NodeID {
+	all := make([]graph.NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	return all
+}
+
+// patternNeighborhoods derives neighborhood profiles (and, optionally,
+// subgraphs) for the pattern's motif using constant-label constraints. A
+// motif node without a constant label contributes nothing to profiles; a
+// neighborhood containing such a node gets no subgraph (the exact test
+// needs every member labelled).
+func patternNeighborhoods(p *pattern.Pattern, in *index.Interner, radius int, withSubs bool) ([][]int32, []*index.NbrSub) {
+	m := p.Motif
+	labelled := graph.New("pn")
+	labelled.Directed = m.Directed
+	allLabelled := true
+	known := make([]bool, m.NumNodes())
+	for _, nd := range m.Nodes() {
+		l, ok := p.ConstLabel(nd.ID)
+		known[nd.ID] = ok
+		if !ok {
+			allLabelled = false
+			l = "\x00unlabelled"
+		}
+		labelled.AddNode(nd.Name, graph.TupleOf("", "label", l))
+	}
+	for _, e := range m.Edges() {
+		labelled.AddEdge(e.Name, e.From, e.To, nil)
+	}
+
+	full := index.BuildNeighborhoods(labelled, in, radius, withSubs && allLabelled)
+	profiles := make([][]int32, m.NumNodes())
+	unl, hasUnl := in.Lookup("\x00unlabelled")
+	for u := range profiles {
+		prof := full.Profiles[u]
+		if hasUnl {
+			trimmed := make([]int32, 0, len(prof))
+			for _, l := range prof {
+				if l != unl {
+					trimmed = append(trimmed, l)
+				}
+			}
+			prof = trimmed
+		}
+		profiles[u] = prof
+	}
+	var subs []*index.NbrSub
+	if withSubs && allLabelled {
+		subs = full.Subs
+	} else {
+		subs = make([]*index.NbrSub, m.NumNodes())
+	}
+	return profiles, subs
+}
+
+// plan chooses the search order per Options.Order and fills s.order/s.pos,
+// then precomputes the pattern adjacency used by Check.
+func (s *searcher) plan() {
+	n := s.p.Size()
+	switch {
+	case n == 0:
+		s.order = nil
+	case s.opt.Order == OrderGreedy:
+		s.order, s.stats.EstCost = s.greedyOrder()
+	case s.opt.Order == OrderDP && n <= 20:
+		s.order, s.stats.EstCost = s.dpOrder()
+	default:
+		s.order = make([]graph.NodeID, n)
+		for i := range s.order {
+			s.order[i] = graph.NodeID(i)
+		}
+	}
+	s.pos = make([]int, n)
+	for i, u := range s.order {
+		s.pos[u] = i
+	}
+	s.padj = make([][]pHalf, n)
+	for _, e := range s.p.Motif.Edges() {
+		s.padj[e.From] = append(s.padj[e.From], pHalf{edge: e.ID, to: e.To, out: true})
+		if e.From != e.To {
+			s.padj[e.To] = append(s.padj[e.To], pHalf{edge: e.ID, to: e.From, out: false})
+		}
+	}
+}
+
+// search runs the depth-first enumeration of Algorithm 4.1.
+func (s *searcher) search() {
+	n := s.p.Size()
+	s.assign = make([]graph.NodeID, n)
+	for i := range s.assign {
+		s.assign[i] = graph.NoNode
+	}
+	s.edgeMap = make([]graph.EdgeID, s.p.Motif.NumEdges())
+	s.usedData = make(map[graph.NodeID]bool, n)
+	if s.opt.AdjIterate {
+		s.member = make([]map[graph.NodeID]bool, n)
+		s.candBuf = make([][]graph.NodeID, n)
+	}
+	if n == 0 {
+		// An empty pattern matches any graph once, subject to the global
+		// predicate (which can only reference graph attributes).
+		if ok, _ := s.globalHolds(); ok {
+			s.out = append(s.out, Mapping{})
+		}
+		return
+	}
+	s.rec(0)
+}
+
+// candidates selects the candidate stream for search depth i: the feasible
+// mates Φ(u) (Algorithm 4.1), or — with Options.AdjIterate — the data
+// adjacency of an already-assigned pattern neighbor filtered by Φ(u)
+// membership, whichever applies.
+func (s *searcher) candidates(i int) []graph.NodeID {
+	u := s.order[i]
+	if !s.opt.AdjIterate {
+		return s.phi[u]
+	}
+	for _, h := range s.padj[u] {
+		if h.to == u {
+			continue
+		}
+		w := s.assign[h.to]
+		if w == graph.NoNode {
+			continue
+		}
+		// Candidates must be adjacent to w with the right orientation:
+		// pattern edge u->h.to needs data edge v->w (v in InAdj(w));
+		// pattern edge h.to->u needs w->v (v in Adj(w)).
+		var adj []graph.Half
+		if s.g.Directed && h.out {
+			adj = s.g.InAdj(w)
+		} else {
+			adj = s.g.Adj(w)
+		}
+		mem := s.member[u]
+		if mem == nil {
+			mem = make(map[graph.NodeID]bool, len(s.phi[u]))
+			for _, x := range s.phi[u] {
+				mem[x] = true
+			}
+			s.member[u] = mem
+		}
+		out := s.candBuf[i][:0]
+		seen := make(map[graph.NodeID]bool, len(adj))
+		for _, h2 := range adj {
+			v := h2.To
+			if mem[v] && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		s.candBuf[i] = out
+		return out
+	}
+	return s.phi[u]
+}
+
+func (s *searcher) rec(i int) {
+	u := s.order[i]
+	for _, v := range s.candidates(i) {
+		if s.done {
+			return
+		}
+		if s.usedData[v] {
+			continue
+		}
+		s.stats.SearchSteps++
+		if !s.check(u, v) {
+			continue
+		}
+		s.assign[u] = v
+		s.usedData[v] = true
+		if i+1 < len(s.order) {
+			s.rec(i + 1)
+		} else if ok, _ := s.globalHolds(); ok {
+			s.emit()
+		}
+		s.usedData[v] = false
+		s.assign[u] = graph.NoNode
+		if s.done {
+			return
+		}
+	}
+}
+
+// check is Algorithm 4.1's Check(ui, v): every pattern edge from u to an
+// already-assigned node must be witnessed by a data edge between v and that
+// node's mate, satisfying the edge predicate and (for directed motifs) the
+// orientation. Witnesses are recorded in edgeMap.
+func (s *searcher) check(u graph.NodeID, v graph.NodeID) bool {
+	for _, h := range s.padj[u] {
+		w := s.assign[h.to]
+		if w == graph.NoNode {
+			if h.to != u {
+				continue
+			}
+			// Self-loop on the pattern node being placed: v must carry a
+			// satisfying self-loop.
+			w = v
+		}
+		var from, to graph.NodeID
+		if h.out {
+			from, to = v, w
+		} else {
+			from, to = w, v
+		}
+		found := false
+		for _, eid := range s.g.EdgesBetween(from, to) {
+			de := s.g.Edge(eid)
+			if s.g.Directed && (de.From != from || de.To != to) {
+				continue
+			}
+			ok, err := s.p.EdgeMatches(h.edge, de.Attrs)
+			if err == nil && ok {
+				s.edgeMap[h.edge] = eid
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// emit records the current assignment as a mapping and applies the
+// exhaustive/limit stopping rules.
+func (s *searcher) emit() {
+	m := Mapping{
+		Nodes: append([]graph.NodeID(nil), s.assign...),
+		Edges: append([]graph.EdgeID(nil), s.edgeMap...),
+	}
+	s.out = append(s.out, m)
+	if !s.opt.Exhaustive {
+		s.done = true
+	}
+	if s.opt.Limit > 0 && len(s.out) >= s.opt.Limit {
+		s.done = true
+		s.stats.Truncated = true
+	}
+}
+
+// globalHolds evaluates the residual graph-wide predicate under the current
+// (complete) assignment.
+func (s *searcher) globalHolds() (bool, error) {
+	if s.p.Global == nil {
+		return true, nil
+	}
+	return expr.Holds(s.p.Global, bindEnv{p: s.p, g: s.g, nodes: s.assign, edges: s.edgeMap})
+}
+
+// bindEnv resolves qualified names against a complete pattern binding:
+// v1.attr reads the mate of motif node v1; e1.attr reads the witnessing
+// data edge of motif edge e1; a bare name (or P.name) reads the data
+// graph's own attributes.
+type bindEnv struct {
+	p     *pattern.Pattern
+	g     *graph.Graph
+	nodes []graph.NodeID
+	edges []graph.EdgeID
+}
+
+// Resolve implements expr.Env.
+func (b bindEnv) Resolve(parts []string) (graph.Value, error) {
+	if len(parts) >= 2 && b.p.Name != "" && parts[0] == b.p.Name {
+		parts = parts[1:]
+	}
+	if len(parts) == 1 {
+		return b.g.Attrs.GetOr(parts[0]), nil
+	}
+	if len(parts) == 2 {
+		if u, ok := b.p.Motif.NodeByName(parts[0]); ok {
+			v := b.nodes[u]
+			if v == graph.NoNode {
+				return graph.Null, fmt.Errorf("match: node %s unbound", parts[0])
+			}
+			return b.g.Node(v).Attrs.GetOr(parts[1]), nil
+		}
+		if e, ok := b.p.Motif.EdgeByName(parts[0]); ok {
+			return b.g.Edge(b.edges[e]).Attrs.GetOr(parts[1]), nil
+		}
+	}
+	return graph.Null, fmt.Errorf("match: cannot resolve %v", parts)
+}

@@ -1,0 +1,389 @@
+// Package motif implements the formal language for graph structures of §2:
+// graph motifs are either simple graphs or composed from other motifs by
+// concatenation (by new edges or by node unification), disjunction, and
+// repetition (recursive motifs). A Grammar is a finite set of motif
+// definitions; the language of the grammar is the set of graphs derivable
+// from them. Derive enumerates that language up to a recursion depth.
+package motif
+
+import (
+	"fmt"
+
+	"gqldb/internal/graph"
+)
+
+// Def is one motif definition: a name and one or more alternative bodies
+// (a single body when there is no disjunction).
+type Def struct {
+	Name string
+	Alts []Body
+}
+
+// Body is one alternative of a motif: constituent sub-motifs, fresh nodes,
+// edges, unifications and exports.
+type Body struct {
+	// Subs instantiate other motifs (or the motif itself — recursion).
+	Subs []SubSpec
+	// Nodes declares fresh nodes.
+	Nodes []NodeSpec
+	// Edges connects nodes (fresh or inside sub-motifs) — concatenation by
+	// edges (§2.1).
+	Edges []EdgeSpec
+	// Unifies merges node pairs — concatenation by unification (§2.1).
+	Unifies []UnifySpec
+	// Exports re-expose a nested node under a local name so recursive
+	// motifs keep the same "interface" (§2.3).
+	Exports []ExportSpec
+}
+
+// SubSpec instantiates the motif named Motif under local alias As (defaults
+// to the motif name).
+type SubSpec struct {
+	Motif string
+	As    string
+}
+
+// NodeSpec declares a fresh node with optional attributes.
+type NodeSpec struct {
+	Name  string
+	Attrs *graph.Tuple
+}
+
+// EdgeSpec declares an edge between two node references. A reference is a
+// dotted path: "v1" (local) or "X.v1" (interface node v1 of sub-motif X).
+type EdgeSpec struct {
+	Name     string
+	From, To string
+	Attrs    *graph.Tuple
+}
+
+// UnifySpec merges the nodes referenced by A and B.
+type UnifySpec struct {
+	A, B string
+}
+
+// ExportSpec makes the node referenced by Ref available as local name As.
+type ExportSpec struct {
+	Ref string
+	As  string
+}
+
+// Grammar is a finite set of motif definitions keyed by name.
+type Grammar struct {
+	defs map[string]*Def
+}
+
+// NewGrammar returns an empty grammar.
+func NewGrammar() *Grammar { return &Grammar{defs: make(map[string]*Def)} }
+
+// Add registers a definition, replacing any previous one of the same name.
+func (gr *Grammar) Add(d *Def) { gr.defs[d.Name] = d }
+
+// Def returns the named definition.
+func (gr *Grammar) Def(name string) (*Def, bool) {
+	d, ok := gr.defs[name]
+	return d, ok
+}
+
+// Simple wraps a constant graph as a single-alternative motif definition
+// (Figure 4.3).
+func Simple(name string, g *graph.Graph) *Def {
+	b := Body{}
+	for _, n := range g.Nodes() {
+		b.Nodes = append(b.Nodes, NodeSpec{Name: n.Name, Attrs: n.Attrs.Clone()})
+	}
+	for _, e := range g.Edges() {
+		b.Edges = append(b.Edges, EdgeSpec{
+			Name:  e.Name,
+			From:  g.Node(e.From).Name,
+			To:    g.Node(e.To).Name,
+			Attrs: e.Attrs.Clone(),
+		})
+	}
+	return &Def{Name: name, Alts: []Body{b}}
+}
+
+// Derived is one graph derived from a motif, together with its interface:
+// the nodes visible to an enclosing motif (local node names and exports).
+type Derived struct {
+	G     *graph.Graph
+	Iface map[string]graph.NodeID
+}
+
+// Derive enumerates the distinct graphs derivable from the named motif
+// using at most maxDepth nested motif instantiations, keeping at most
+// maxCount results (0 = unlimited). Deterministic: alternatives in
+// declaration order, shallower derivations first.
+func (gr *Grammar) Derive(name string, maxDepth, maxCount int) ([]*graph.Graph, error) {
+	memo := make(map[memoKey][]Derived)
+	ds, err := gr.deriveDef(name, maxDepth, maxCount, memo)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []*graph.Graph
+	for _, d := range ds {
+		g := d.G
+		g.Name = name
+		sig := g.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, g)
+		if maxCount > 0 && len(out) >= maxCount {
+			break
+		}
+	}
+	return out, nil
+}
+
+type memoKey struct {
+	name  string
+	depth int
+}
+
+// deriveDef enumerates derivations of a definition with the given remaining
+// depth budget. Each motif instantiation (sub-motif placement) costs one
+// unit of depth.
+func (gr *Grammar) deriveDef(name string, depth, limit int, memo map[memoKey][]Derived) ([]Derived, error) {
+	if depth < 0 {
+		return nil, nil
+	}
+	key := memoKey{name, depth}
+	if ds, ok := memo[key]; ok {
+		return ds, nil
+	}
+	def, ok := gr.defs[name]
+	if !ok {
+		return nil, fmt.Errorf("motif: undefined motif %q", name)
+	}
+	// Guard against non-productive recursion within the same depth.
+	memo[key] = nil
+	var out []Derived
+	for _, alt := range def.Alts {
+		ds, err := gr.deriveBody(alt, depth, limit, memo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+		if limit > 0 && len(out) >= limit {
+			out = out[:limit]
+			break
+		}
+	}
+	memo[key] = out
+	return out, nil
+}
+
+// deriveBody enumerates the cross product of sub-motif derivations and
+// assembles each combination with the body's own elements.
+func (gr *Grammar) deriveBody(b Body, depth, limit int, memo map[memoKey][]Derived) ([]Derived, error) {
+	// Enumerate choices for each sub-motif at depth-1.
+	choices := make([][]Derived, len(b.Subs))
+	for i, sub := range b.Subs {
+		ds, err := gr.deriveDef(sub.Motif, depth-1, limit, memo)
+		if err != nil {
+			return nil, err
+		}
+		if len(ds) == 0 {
+			return nil, nil // this alternative is not derivable at this depth
+		}
+		choices[i] = ds
+	}
+	var out []Derived
+	pick := make([]int, len(b.Subs))
+	for {
+		d, err := assemble(b, pick, choices)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+		if limit > 0 && len(out) >= limit {
+			return out, nil
+		}
+		// Next combination (odometer).
+		i := len(pick) - 1
+		for ; i >= 0; i-- {
+			pick[i]++
+			if pick[i] < len(choices[i]) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// assemble builds one derived graph from a body and chosen sub-derivations.
+func assemble(b Body, pick []int, choices [][]Derived) (Derived, error) {
+	g := graph.New("_m")
+	names := map[string]graph.NodeID{}
+
+	// Place sub-motifs; their interfaces become visible as alias.name.
+	for i, sub := range b.Subs {
+		alias := sub.As
+		if alias == "" {
+			alias = sub.Motif
+		}
+		src := choices[i][pick[i]]
+		remap := make([]graph.NodeID, src.G.NumNodes())
+		for _, n := range src.G.Nodes() {
+			remap[n.ID] = g.AddNode("", n.Attrs)
+		}
+		for _, e := range src.G.Edges() {
+			g.AddEdge("", remap[e.From], remap[e.To], e.Attrs)
+		}
+		for nm, id := range src.Iface {
+			names[alias+"."+nm] = remap[id]
+		}
+	}
+	// Fresh nodes.
+	for _, ns := range b.Nodes {
+		names[ns.Name] = g.AddNode("", ns.Attrs)
+	}
+	resolve := func(ref string) (graph.NodeID, error) {
+		if id, ok := names[ref]; ok {
+			return id, nil
+		}
+		return 0, fmt.Errorf("motif: unresolved node reference %q", ref)
+	}
+	// Union-find for unification.
+	uf := map[graph.NodeID]graph.NodeID{}
+	rep := func(v graph.NodeID) graph.NodeID {
+		for {
+			w, ok := uf[v]
+			if !ok {
+				return v
+			}
+			v = w
+		}
+	}
+	for _, us := range b.Unifies {
+		a, err := resolve(us.A)
+		if err != nil {
+			return Derived{}, err
+		}
+		bb, err := resolve(us.B)
+		if err != nil {
+			return Derived{}, err
+		}
+		a, bb = rep(a), rep(bb)
+		if a != bb {
+			uf[a] = bb
+		}
+	}
+	// Edges (after unification so endpoints use representatives).
+	for _, es := range b.Edges {
+		u, err := resolve(es.From)
+		if err != nil {
+			return Derived{}, err
+		}
+		v, err := resolve(es.To)
+		if err != nil {
+			return Derived{}, err
+		}
+		g.AddEdge("", rep(u), rep(v), es.Attrs)
+	}
+	// Exports extend the interface.
+	for _, ex := range b.Exports {
+		id, err := resolve(ex.Ref)
+		if err != nil {
+			return Derived{}, err
+		}
+		names[ex.As] = id
+	}
+
+	// Compact: drop merged nodes, dedupe unified edges, restrict the
+	// interface to local names (dotted names are internal).
+	out := graph.New("_m")
+	remap := make([]graph.NodeID, g.NumNodes())
+	for i := range remap {
+		remap[i] = graph.NoNode
+	}
+	for _, n := range g.Nodes() {
+		if rep(n.ID) != n.ID {
+			continue
+		}
+		remap[n.ID] = out.AddNode("", n.Attrs)
+	}
+	type ek struct {
+		u, v graph.NodeID
+		sig  string
+	}
+	dedup := map[ek]bool{}
+	for _, e := range g.Edges() {
+		u, v := remap[rep(e.From)], remap[rep(e.To)]
+		if u > v {
+			u, v = v, u
+		}
+		k := ek{u, v, e.Attrs.String()}
+		if dedup[k] {
+			continue
+		}
+		dedup[k] = true
+		out.AddEdge("", u, v, e.Attrs)
+	}
+	iface := map[string]graph.NodeID{}
+	for nm, id := range names {
+		if !containsDot(nm) {
+			iface[nm] = remap[rep(id)]
+		}
+	}
+	return Derived{G: out, Iface: iface}, nil
+}
+
+func containsDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// PathDef builds the recursive Path motif of Figure 4.6(a):
+//
+//	graph Path { graph Path; node v1; edge e1 (v1, Path.v1);
+//	             export Path.v2 as v2; }
+//	          | { node v1, v2; edge e1 (v1, v2); }
+func PathDef() *Def {
+	return &Def{Name: "Path", Alts: []Body{
+		{
+			Subs:    []SubSpec{{Motif: "Path"}},
+			Nodes:   []NodeSpec{{Name: "v1"}},
+			Edges:   []EdgeSpec{{Name: "e1", From: "v1", To: "Path.v1"}},
+			Exports: []ExportSpec{{Ref: "Path.v2", As: "v2"}},
+		},
+		{
+			Nodes: []NodeSpec{{Name: "v1"}, {Name: "v2"}},
+			Edges: []EdgeSpec{{Name: "e1", From: "v1", To: "v2"}},
+		},
+	}}
+}
+
+// CycleDef builds the Cycle motif of Figure 4.6(a): a Path whose end nodes
+// are joined by an extra edge.
+func CycleDef() *Def {
+	return &Def{Name: "Cycle", Alts: []Body{{
+		Subs:  []SubSpec{{Motif: "Path"}},
+		Edges: []EdgeSpec{{Name: "e1", From: "Path.v1", To: "Path.v2"}},
+	}}}
+}
+
+// StarDef builds the G5 motif of Figure 4.6(b): a root node v0 connected to
+// an arbitrary number of instances of the unit motif (via the unit's v1).
+func StarDef(unit string) *Def {
+	return &Def{Name: "G5", Alts: []Body{
+		{
+			Subs:    []SubSpec{{Motif: "G5"}, {Motif: unit}},
+			Edges:   []EdgeSpec{{Name: "e1", From: "G5.v0", To: unit + ".v1"}},
+			Exports: []ExportSpec{{Ref: "G5.v0", As: "v0"}},
+		},
+		{
+			Nodes: []NodeSpec{{Name: "v0"}},
+		},
+	}}
+}

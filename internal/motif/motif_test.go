@@ -1,0 +1,277 @@
+package motif
+
+import (
+	"testing"
+
+	"gqldb/internal/graph"
+)
+
+// triangle is the simple motif G1 of Figure 4.3.
+func triangle() *graph.Graph {
+	g := graph.New("G1")
+	v1 := g.AddNode("v1", nil)
+	v2 := g.AddNode("v2", nil)
+	v3 := g.AddNode("v3", nil)
+	g.AddEdge("e1", v1, v2, nil)
+	g.AddEdge("e2", v2, v3, nil)
+	g.AddEdge("e3", v3, v1, nil)
+	return g
+}
+
+func TestSimpleMotif(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(Simple("G1", triangle()))
+	out, err := gr.Derive("G1", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("derivations = %d, want 1", len(out))
+	}
+	if out[0].NumNodes() != 3 || out[0].NumEdges() != 3 {
+		t.Errorf("shape = %d/%d, want 3/3", out[0].NumNodes(), out[0].NumEdges())
+	}
+}
+
+// TestConcatenationByEdges reproduces G2 of Figure 4.4(a): two triangles
+// joined by two new edges.
+func TestConcatenationByEdges(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(Simple("G1", triangle()))
+	gr.Add(&Def{Name: "G2", Alts: []Body{{
+		Subs: []SubSpec{{Motif: "G1", As: "X"}, {Motif: "G1", As: "Y"}},
+		Edges: []EdgeSpec{
+			{Name: "e4", From: "X.v1", To: "Y.v1"},
+			{Name: "e5", From: "X.v3", To: "Y.v2"},
+		},
+	}}})
+	out, err := gr.Derive("G2", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("derivations = %d, want 1", len(out))
+	}
+	if out[0].NumNodes() != 6 || out[0].NumEdges() != 8 {
+		t.Errorf("G2 shape = %d/%d, want 6/8", out[0].NumNodes(), out[0].NumEdges())
+	}
+}
+
+// TestConcatenationByUnification reproduces G3 of Figure 4.4(b): two
+// triangles sharing two nodes — 4 nodes, 5 edges (e1 of Y unifies with e3
+// of X).
+func TestConcatenationByUnification(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(Simple("G1", triangle()))
+	gr.Add(&Def{Name: "G3", Alts: []Body{{
+		Subs: []SubSpec{{Motif: "G1", As: "X"}, {Motif: "G1", As: "Y"}},
+		Unifies: []UnifySpec{
+			{A: "X.v1", B: "Y.v1"},
+			{A: "X.v3", B: "Y.v2"},
+		},
+	}}})
+	out, err := gr.Derive("G3", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("derivations = %d, want 1", len(out))
+	}
+	if out[0].NumNodes() != 4 || out[0].NumEdges() != 5 {
+		t.Errorf("G3 shape = %d/%d, want 4/5\n%s", out[0].NumNodes(), out[0].NumEdges(), out[0])
+	}
+}
+
+// TestDisjunction reproduces G4 of Figure 4.5: base edge v1-v2 plus either
+// a triangle apex v3 or a square side v3-v4.
+func TestDisjunction(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(&Def{Name: "G4", Alts: []Body{
+		{
+			Nodes: []NodeSpec{{Name: "v1"}, {Name: "v2"}, {Name: "v3"}},
+			Edges: []EdgeSpec{
+				{Name: "e1", From: "v1", To: "v2"},
+				{Name: "e2", From: "v1", To: "v3"},
+				{Name: "e3", From: "v2", To: "v3"},
+			},
+		},
+		{
+			Nodes: []NodeSpec{{Name: "v1"}, {Name: "v2"}, {Name: "v3"}, {Name: "v4"}},
+			Edges: []EdgeSpec{
+				{Name: "e1", From: "v1", To: "v2"},
+				{Name: "e2", From: "v1", To: "v3"},
+				{Name: "e3", From: "v2", To: "v4"},
+				{Name: "e4", From: "v3", To: "v4"},
+			},
+		},
+	}})
+	out, err := gr.Derive("G4", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("derivations = %d, want 2", len(out))
+	}
+	if out[0].NumNodes() != 3 || out[0].NumEdges() != 3 {
+		t.Errorf("alt1 shape = %d/%d, want 3/3", out[0].NumNodes(), out[0].NumEdges())
+	}
+	if out[1].NumNodes() != 4 || out[1].NumEdges() != 4 {
+		t.Errorf("alt2 shape = %d/%d, want 4/4", out[1].NumNodes(), out[1].NumEdges())
+	}
+}
+
+// TestPathRepetition reproduces Figure 4.6(a): paths of 2..k nodes.
+func TestPathRepetition(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(PathDef())
+	out, err := gr.Derive("Path", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth d admits up to d nested Path instantiations: paths of 2..d+2
+	// nodes, so depth 4 yields 5 derivations.
+	if len(out) != 5 {
+		t.Fatalf("derivations = %d, want 5", len(out))
+	}
+	sizes := map[int]bool{}
+	for _, g := range out {
+		if g.NumEdges() != g.NumNodes()-1 {
+			t.Errorf("not a path: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+		}
+		// Path: exactly two degree-1 endpoints, rest degree 2.
+		deg1 := 0
+		for _, n := range g.Nodes() {
+			switch g.Degree(n.ID) {
+			case 1:
+				deg1++
+			case 2:
+			default:
+				t.Errorf("path node with degree %d", g.Degree(n.ID))
+			}
+		}
+		if deg1 != 2 {
+			t.Errorf("path with %d endpoints", deg1)
+		}
+		sizes[g.NumNodes()] = true
+	}
+	for want := 2; want <= 6; want++ {
+		if !sizes[want] {
+			t.Errorf("missing path of %d nodes", want)
+		}
+	}
+}
+
+// TestCycleRepetition: cycles derived from paths (Figure 4.6(a)).
+func TestCycleRepetition(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(PathDef())
+	gr.Add(CycleDef())
+	out, err := gr.Derive("Cycle", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 3 {
+		t.Fatalf("derivations = %d, want >= 3", len(out))
+	}
+	for _, g := range out {
+		if g.NumNodes() < 3 {
+			continue // the 2-node "cycle" degenerates to a single edge
+		}
+		if g.NumEdges() != g.NumNodes() {
+			t.Errorf("not a cycle: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+		}
+		for _, n := range g.Nodes() {
+			if g.Degree(n.ID) != 2 {
+				t.Errorf("cycle node with degree %d", g.Degree(n.ID))
+			}
+		}
+	}
+}
+
+// TestStarRepetition reproduces G5 of Figure 4.6(b): v0 alone, v0 plus one
+// triangle, v0 plus two triangles, ...
+func TestStarRepetition(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(Simple("G1", triangle()))
+	gr.Add(StarDef("G1"))
+	out, err := gr.Derive("G5", 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected sizes: 1, 4, 7, ... nodes (v0 + 3k).
+	bySize := map[int]int{}
+	for _, g := range out {
+		bySize[g.NumNodes()]++
+	}
+	for _, want := range []int{1, 4, 7} {
+		if bySize[want] == 0 {
+			t.Errorf("missing G5 derivation with %d nodes (have %v)", want, bySize)
+		}
+	}
+	for _, g := range out {
+		k := (g.NumNodes() - 1) / 3
+		if wantE := 4 * k; g.NumEdges() != wantE {
+			t.Errorf("G5 with %d nodes has %d edges, want %d", g.NumNodes(), g.NumEdges(), wantE)
+		}
+	}
+}
+
+func TestDeriveLimits(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(PathDef())
+	out, err := gr.Derive("Path", 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) > 5 {
+		t.Errorf("limit ignored: %d results", len(out))
+	}
+	// Depth 0 admits nothing (even the base case is one instantiation at
+	// the top, which costs no depth — base alt has no subs, so depth 0 is
+	// fine and yields the 2-node path).
+	out, err = gr.Derive("Path", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].NumNodes() != 2 {
+		t.Errorf("depth 0: %d derivations", len(out))
+	}
+}
+
+func TestUndefinedMotif(t *testing.T) {
+	gr := NewGrammar()
+	if _, err := gr.Derive("nope", 3, 0); err == nil {
+		t.Error("undefined motif should error")
+	}
+	gr.Add(&Def{Name: "bad", Alts: []Body{{
+		Subs: []SubSpec{{Motif: "missing"}},
+	}}})
+	if _, err := gr.Derive("bad", 3, 0); err == nil {
+		t.Error("undefined sub-motif should error")
+	}
+}
+
+func TestUnresolvedReference(t *testing.T) {
+	gr := NewGrammar()
+	gr.Add(&Def{Name: "bad", Alts: []Body{{
+		Nodes: []NodeSpec{{Name: "v1"}},
+		Edges: []EdgeSpec{{From: "v1", To: "vX"}},
+	}}})
+	if _, err := gr.Derive("bad", 1, 0); err == nil {
+		t.Error("unresolved node reference should error")
+	}
+}
+
+func TestAttributedMotifNodes(t *testing.T) {
+	g := graph.New("L")
+	g.AddNode("v1", graph.TupleOf("", "label", "A"))
+	gr := NewGrammar()
+	gr.Add(Simple("L", g))
+	out, err := gr.Derive("L", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Node(0).Attrs.GetOr("label").AsString() != "A" {
+		t.Error("attributes lost in derivation")
+	}
+}

@@ -1,0 +1,391 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gqldb/internal/ast"
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+	"gqldb/internal/lexer"
+)
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexer.Tokenize(`graph G1 <a=1, b="x\n", c=2.5> { } // comment
+	/* block */ where v1.name != "A" & y >= 2 := `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []lexer.Kind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	joined := strings.Join(texts, " ")
+	for _, want := range []string{"graph", "G1", "<", "a", "=", "1", "x\n", "2.5", "!=", ">=", ":="} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("tokens missing %q: %v", want, texts)
+		}
+	}
+	if kinds[len(kinds)-1] != lexer.EOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	bad := []string{`"unterminated`, `"bad \q escape"`, "@", `1.`, "\"new\nline\""}
+	for _, s := range bad {
+		if _, err := lexer.Tokenize(s); err == nil {
+			t.Errorf("Tokenize(%q): want error", s)
+		}
+	}
+}
+
+func TestParseSimpleGraphFig43(t *testing.T) {
+	src := `
+	graph G1 {
+		node v1, v2, v3;
+		edge e1 (v1, v2);
+		edge e2 (v2, v3);
+		edge e3 (v3, v1);
+	};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	d := prog.Stmts[0].(*ast.GraphDecl)
+	g, err := d.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "G1" || g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Errorf("G1 shape = %s/%d/%d", g.Name, g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestParseAttributedGraphFig47(t *testing.T) {
+	src := `
+	graph G <inproceedings> {
+		node v1 <title="Title1", year=2006>;
+		node v2 <author name="A">;
+		node v3 <author name="B">;
+	};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := prog.Stmts[0].(*ast.GraphDecl).ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Attrs.Tag != "inproceedings" {
+		t.Errorf("graph tag = %q", g.Attrs.Tag)
+	}
+	v1, _ := g.NodeByName("v1")
+	if g.Node(v1).Attrs.GetOr("year").AsInt() != 2006 {
+		t.Errorf("v1.year = %v", g.Node(v1).Attrs.GetOr("year"))
+	}
+	v2, _ := g.NodeByName("v2")
+	if g.Node(v2).Attrs.Tag != "author" || g.Node(v2).Attrs.GetOr("name").AsString() != "A" {
+		t.Errorf("v2 = %s", g.Node(v2).Attrs)
+	}
+}
+
+func TestParsePatternFig48(t *testing.T) {
+	for _, src := range []string{
+		`graph P { node v1; node v2; } where v1.name="A" & v2.year>2000;`,
+		`graph P { node v1 where name="A"; node v2 where year>2000; };`,
+	} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		p, err := prog.Stmts[0].(*ast.GraphDecl).ToPattern()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != 2 {
+			t.Errorf("pattern size = %d", p.Size())
+		}
+		v1, _ := p.Motif.NodeByName("v1")
+		ok, err := p.NodeMatches(v1, graph.TupleOf("", "name", "A"))
+		if err != nil || !ok {
+			t.Errorf("v1 should match name=A: %v %v", ok, err)
+		}
+	}
+}
+
+func TestParseEdgePredicatesAndTags(t *testing.T) {
+	src := `graph P {
+		node v1 <author>;
+		node v2 <author>;
+		edge e1 (v1, v2) <coauth since=2000> where weight > 0.5;
+	};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Stmts[0].(*ast.GraphDecl)
+	e := d.Members[2].(*ast.EdgeDecl)
+	if e.Name != "e1" || e.Tuple.Tag != "coauth" || e.Where == nil {
+		t.Errorf("edge decl wrong: %+v", e)
+	}
+}
+
+func TestParseDisjunctionAlternatives(t *testing.T) {
+	src := `graph G4 {
+		node v1, v2, v3;
+		edge e1 (v1, v2);
+	} | {
+		node v1, v2, v3, v4;
+		edge e1 (v1, v2);
+	};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Stmts[0].(*ast.GraphDecl)
+	if len(d.Alts) != 1 {
+		t.Fatalf("alts = %d, want 1", len(d.Alts))
+	}
+	def, err := d.ToMotifDef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Alts) != 2 {
+		t.Errorf("motif alts = %d", len(def.Alts))
+	}
+}
+
+func TestParseRecursivePathFig46(t *testing.T) {
+	src := `
+	graph Path {
+		graph Path;
+		node v1;
+		edge e1 (v1, Path.v1);
+		export Path.v2 as v2;
+	} | {
+		node v1, v2;
+		edge e1 (v1, v2);
+	};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Stmts[0].(*ast.GraphDecl)
+	def, err := d.ToMotifDef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "Path" || len(def.Alts) != 2 {
+		t.Fatalf("def = %s/%d alts", def.Name, len(def.Alts))
+	}
+	if len(def.Alts[0].Subs) != 1 || def.Alts[0].Subs[0].Motif != "Path" {
+		t.Error("recursive sub missing")
+	}
+	if len(def.Alts[0].Exports) != 1 || def.Alts[0].Exports[0].As != "v2" {
+		t.Error("export missing")
+	}
+}
+
+func TestParseConcatenationWithAliases(t *testing.T) {
+	src := `graph G2 {
+		graph G1 as X;
+		graph G1 as Y;
+		edge e4 (X.v1, Y.v1);
+		unify X.v3, Y.v2;
+	};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Stmts[0].(*ast.GraphDecl)
+	def, err := d.ToMotifDef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Alts[0].Subs) != 2 || def.Alts[0].Subs[1].As != "Y" {
+		t.Error("aliased subs wrong")
+	}
+	if len(def.Alts[0].Unifies) != 1 || def.Alts[0].Unifies[0].A != "X.v3" {
+		t.Error("unify wrong")
+	}
+}
+
+func TestParseFLWRFig412(t *testing.T) {
+	src := `
+	graph P {
+		node v1 <author>;
+		node v2 <author>;
+	} where P.booktitle="SIGMOD";
+	C := graph {};
+	for P exhaustive in doc("DBLP") let C := graph {
+		graph C;
+		node P.v1, P.v2;
+		edge e1 (P.v1, P.v2);
+		unify P.v1, C.v1 where P.v1.name=C.v1.name;
+		unify P.v2, C.v2 where P.v2.name=C.v2.name;
+	};`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 3 {
+		t.Fatalf("stmts = %d, want 3", len(prog.Stmts))
+	}
+	if _, ok := prog.Stmts[0].(*ast.GraphDecl); !ok {
+		t.Error("stmt 0 should be a pattern declaration")
+	}
+	as, ok := prog.Stmts[1].(*ast.AssignStmt)
+	if !ok || as.Name != "C" {
+		t.Error("stmt 1 should assign C")
+	}
+	f, ok := prog.Stmts[2].(*ast.FLWRStmt)
+	if !ok {
+		t.Fatal("stmt 2 should be FLWR")
+	}
+	if f.PatternName != "P" || !f.Exhaustive || f.Doc != "DBLP" || f.LetName != "C" {
+		t.Errorf("FLWR fields wrong: %+v", f)
+	}
+	tmpl, err := f.Let.ToTemplate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpl.Members) != 6 { // graph C, two nodes, edge, two unifies
+		t.Errorf("template members = %d, want 6", len(tmpl.Members))
+	}
+}
+
+func TestParseFLWRReturn(t *testing.T) {
+	src := `for graph Q { node v1 where label="A"; } in doc("db")
+		where Q.v1.weight > 3
+		return graph R { node u <label=Q.v1.label>; };`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Stmts[0].(*ast.FLWRStmt)
+	if f.Pattern == nil || f.Exhaustive || f.Return == nil || f.Where == nil {
+		t.Errorf("FLWR fields wrong: %+v", f)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr(`a.x = 1 & b.y > 2 | c.z < 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := e.(expr.Binary)
+	if !ok || top.Op != expr.OpOr {
+		t.Fatalf("top = %s, want |", e)
+	}
+	l := top.L.(expr.Binary)
+	if l.Op != expr.OpAnd {
+		t.Errorf("left of | = %s, want &", top.L)
+	}
+	// Arithmetic precedence.
+	e, _ = ParseExpr(`a.x + 2 * 3 == 7`)
+	if got := e.String(); got != "((a.x + (2 * 3)) == 7)" {
+		t.Errorf("precedence = %s", got)
+	}
+	// Parentheses.
+	e, _ = ParseExpr(`(a.x + 2) * 3 == 7`)
+	if got := e.String(); got != "(((a.x + 2) * 3) == 7)" {
+		t.Errorf("parens = %s", got)
+	}
+	// Unary minus folds into a negative literal.
+	e, _ = ParseExpr(`x > -5`)
+	if got := e.String(); got != "(x > -5)" {
+		t.Errorf("unary minus = %s", got)
+	}
+	// Unary minus on a name stays an expression.
+	e, _ = ParseExpr(`-y.v < 3`)
+	if got := e.String(); got != "((0 - y.v) < 3)" {
+		t.Errorf("unary minus on name = %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`graph {`,                    // unterminated body
+		`graph G { node v1 }`,        // missing ; after member
+		`graph G { edge e (v1) ; };`, // edge with one endpoint
+		`for in doc("x") return C;`,  // missing pattern
+		`for P in doc() return C;`,   // missing doc string
+		`for P in doc("x");`,         // missing return/let
+		`x := ;`,                     // missing template
+		`graph G { unify a; };`,      // unify with one name
+		`graph G {} where (1 + ;`,    // bad expression
+		`bogus;`,                     // unknown statement
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error", s)
+		}
+	}
+}
+
+func TestGraphStringRoundtrip(t *testing.T) {
+	g := graph.New("G")
+	a := g.AddNode("v1", graph.TupleOf("author", "name", "A"))
+	b := g.AddNode("v2", graph.TupleOf("", "year", 2006))
+	g.AddEdge("e1", a, b, graph.TupleOf("", "w", 1.5))
+	src := g.String() + ";"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("roundtrip parse failed: %v\n%s", err, src)
+	}
+	g2, err := prog.Stmts[0].(*ast.GraphDecl).ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Signature() != g.Signature() {
+		t.Errorf("roundtrip changed graph:\n%s\nvs\n%s", g.Signature(), g2.Signature())
+	}
+}
+
+// Property: random attributed graphs round-trip through the language text
+// format (String -> Parse -> ToGraph) with identical signatures.
+func TestGraphStringRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New("R")
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			var attrs *graph.Tuple
+			switch rng.Intn(4) {
+			case 0:
+				attrs = nil
+			case 1:
+				attrs = graph.TupleOf("", "label", string(rune('A'+rng.Intn(4))))
+			case 2:
+				attrs = graph.TupleOf("tagged", "x", rng.Intn(100), "f", rng.Float64())
+			default:
+				attrs = graph.TupleOf("", "s", "str with spaces", "neg", -rng.Intn(50))
+			}
+			g.AddNode("", attrs)
+		}
+		for i := rng.Intn(2 * n); i > 0; i-- {
+			g.AddEdge("", graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), nil)
+		}
+		prog, err := Parse(g.String() + ";")
+		if err != nil {
+			t.Logf("parse failed: %v\n%s", err, g)
+			return false
+		}
+		g2, err := prog.Stmts[0].(*ast.GraphDecl).ToGraph()
+		if err != nil {
+			return false
+		}
+		return g2.Signature() == g.Signature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package pattern implements GraphQL graph patterns (§3.2): a pair
+// P = (M, F) of a graph motif M and a predicate F over the motif's
+// attributes. Compile pushes F's conjuncts down onto individual nodes and
+// edges (§4.1), leaving only genuinely multi-variable conjuncts in the
+// graph-wide residual predicate, and extracts constant label constraints so
+// access methods can use label indexes.
+package pattern
+
+import (
+	"fmt"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+)
+
+// Pattern is a compiled graph pattern. Construct with New/AddNode/AddEdge/
+// Where and finish with Compile before matching.
+type Pattern struct {
+	// Name is the pattern variable (e.g. P); it may qualify names in the
+	// predicate as P.v1.name.
+	Name string
+	// Motif is the structural part: a graph whose nodes and edges are
+	// variables. Attribute tuples on motif elements are equality
+	// constraints and are compiled into predicates.
+	Motif *graph.Graph
+	// NodePred[u] is the conjunction of predicates that mention only node
+	// u, rewritten to bare attribute names.
+	NodePred []expr.Expr
+	// NodeTag[u] is the required tuple tag of a mate of u ("" = any).
+	NodeTag []string
+	// EdgePred[e] is the per-edge predicate over bare attribute names.
+	EdgePred []expr.Expr
+	// Global is the residual graph-wide predicate; its names are resolved
+	// against the whole binding (multi-node conjuncts, graph attributes).
+	Global expr.Expr
+
+	// where holds the raw predicates accumulated before Compile.
+	where []expr.Expr
+	// constLabel[u] is the constant required by a `label == "X"` conjunct
+	// on u, or "" when the node is unconstrained by label.
+	constLabel []string
+	compiled   bool
+}
+
+// New returns an empty pattern with an undirected motif.
+func New(name string) *Pattern {
+	return &Pattern{Name: name, Motif: graph.New(name)}
+}
+
+// NewDirected returns an empty pattern with a directed motif.
+func NewDirected(name string) *Pattern {
+	p := New(name)
+	p.Motif.Directed = true
+	return p
+}
+
+// AddNode declares a motif node with optional attribute constraints and an
+// optional node-level where clause (bare attribute names).
+func (p *Pattern) AddNode(name string, attrs *graph.Tuple, where expr.Expr) graph.NodeID {
+	id := p.Motif.AddNode(name, attrs)
+	p.NodePred = append(p.NodePred, nil)
+	p.NodeTag = append(p.NodeTag, "")
+	p.constLabel = append(p.constLabel, "")
+	if where != nil {
+		nm := p.Motif.Node(id).Name
+		p.where = append(p.where, qualify(where, nm))
+	}
+	return id
+}
+
+// AddEdge declares a motif edge with optional attribute constraints and an
+// optional edge-level where clause.
+func (p *Pattern) AddEdge(name string, from, to graph.NodeID, attrs *graph.Tuple, where expr.Expr) graph.EdgeID {
+	id := p.Motif.AddEdge(name, from, to, attrs)
+	p.EdgePred = append(p.EdgePred, nil)
+	if where != nil {
+		nm := p.Motif.Edge(id).Name
+		p.where = append(p.where, qualify(where, nm))
+	}
+	return id
+}
+
+// Where adds a pattern-wide predicate; its conjuncts are distributed onto
+// nodes and edges at Compile time.
+func (p *Pattern) Where(e expr.Expr) {
+	if e != nil {
+		p.where = append(p.where, e)
+	}
+}
+
+// qualify prefixes bare names in a node/edge-level where clause with the
+// element's variable so all predicates share one naming scheme.
+func qualify(e expr.Expr, elem string) expr.Expr {
+	return expr.Rewrite(e, func(n expr.Name) expr.Name {
+		if len(n.Parts) == 1 {
+			return expr.Name{Parts: []string{elem, n.Parts[0]}}
+		}
+		return n
+	})
+}
+
+// LabelNode is shorthand for AddNode with a single `label == l` constraint;
+// the evaluation workloads (§5) use exactly this form.
+func (p *Pattern) LabelNode(name, label string) graph.NodeID {
+	return p.AddNode(name, graph.TupleOf("", "label", label), nil)
+}
+
+// Compile pushes predicates down and freezes the pattern. It is idempotent.
+func (p *Pattern) Compile() error {
+	if p.compiled {
+		return nil
+	}
+	// Attribute tuples on motif elements become equality conjuncts; tags
+	// become tag requirements.
+	for _, n := range p.Motif.Nodes() {
+		if n.Attrs == nil {
+			continue
+		}
+		p.NodeTag[n.ID] = n.Attrs.Tag
+		for i := 0; i < n.Attrs.Len(); i++ {
+			a := n.Attrs.At(i)
+			p.where = append(p.where, expr.Binary{
+				Op: expr.OpEq,
+				L:  expr.Name{Parts: []string{n.Name, a.Name}},
+				R:  expr.Lit{Val: a.Val},
+			})
+		}
+	}
+	for _, e := range p.Motif.Edges() {
+		if e.Attrs == nil {
+			continue
+		}
+		for i := 0; i < e.Attrs.Len(); i++ {
+			a := e.Attrs.At(i)
+			p.where = append(p.where, expr.Binary{
+				Op: expr.OpEq,
+				L:  expr.Name{Parts: []string{e.Name, a.Name}},
+				R:  expr.Lit{Val: a.Val},
+			})
+		}
+	}
+	var global []expr.Expr
+	for _, w := range p.where {
+		for _, c := range expr.Conjuncts(w) {
+			if !p.pushDown(c) {
+				global = append(global, c)
+			}
+		}
+	}
+	p.Global = expr.And(global...)
+	p.extractConstLabels()
+	p.compiled = true
+	return p.validate()
+}
+
+// owner classifies a qualified name: the motif element that owns it (node or
+// edge variable) or "" when it refers to the graph or spans elements.
+func (p *Pattern) owner(parts []string) (elem string, attr string, ok bool) {
+	// Strip a leading pattern qualifier (P.v1.name -> v1.name).
+	if len(parts) >= 2 && parts[0] == p.Name && p.Name != "" {
+		parts = parts[1:]
+	}
+	if len(parts) != 2 {
+		return "", "", false
+	}
+	if _, isNode := p.Motif.NodeByName(parts[0]); isNode {
+		return parts[0], parts[1], true
+	}
+	if _, isEdge := p.Motif.EdgeByName(parts[0]); isEdge {
+		return parts[0], parts[1], true
+	}
+	return "", "", false
+}
+
+// pushDown attaches a conjunct to its single owning node or edge; reports
+// whether it was pushed.
+func (p *Pattern) pushDown(c expr.Expr) bool {
+	names := expr.Names(c)
+	if len(names) == 0 {
+		return false
+	}
+	var elem string
+	for _, n := range names {
+		e, _, ok := p.owner(n)
+		if !ok {
+			return false
+		}
+		if elem == "" {
+			elem = e
+		} else if elem != e {
+			return false
+		}
+	}
+	// Rewrite names to bare attribute form for element-local evaluation.
+	local := expr.Rewrite(c, func(n expr.Name) expr.Name {
+		_, attr, _ := p.owner(n.Parts)
+		return expr.Name{Parts: []string{attr}}
+	})
+	if u, ok := p.Motif.NodeByName(elem); ok {
+		p.NodePred[u] = expr.And(p.NodePred[u], local)
+		return true
+	}
+	e, _ := p.Motif.EdgeByName(elem)
+	p.EdgePred[e] = expr.And(p.EdgePred[e], local)
+	return true
+}
+
+// extractConstLabels records `label == const` constraints for index lookup.
+func (p *Pattern) extractConstLabels() {
+	for u := range p.NodePred {
+		for _, c := range expr.Conjuncts(p.NodePred[u]) {
+			b, ok := c.(expr.Binary)
+			if !ok || b.Op != expr.OpEq {
+				continue
+			}
+			nm, okL := b.L.(expr.Name)
+			lit, okR := b.R.(expr.Lit)
+			if !okL || !okR { // also accept const == label
+				nm, okL = b.R.(expr.Name)
+				lit, okR = b.L.(expr.Lit)
+			}
+			if okL && okR && len(nm.Parts) == 1 && nm.Parts[0] == "label" && lit.Val.Kind() == graph.KindString {
+				p.constLabel[u] = lit.Val.AsString()
+			}
+		}
+	}
+}
+
+// ConstLabel returns the constant label required of mates of u, if any.
+func (p *Pattern) ConstLabel(u graph.NodeID) (string, bool) {
+	l := p.constLabel[u]
+	return l, l != ""
+}
+
+// validate rejects patterns whose residual predicate references unknown
+// variables (typos would otherwise silently become Null comparisons).
+func (p *Pattern) validate() error {
+	for _, n := range expr.Names(p.Global) {
+		parts := n
+		if len(parts) >= 2 && parts[0] == p.Name && p.Name != "" {
+			parts = parts[1:]
+		}
+		head := parts[0]
+		if _, ok := p.Motif.NodeByName(head); ok {
+			continue
+		}
+		if _, ok := p.Motif.EdgeByName(head); ok {
+			continue
+		}
+		if len(parts) == 1 {
+			continue // graph attribute of the matched graph
+		}
+		return fmt.Errorf("pattern %s: predicate references unknown variable %q", p.Name, head)
+	}
+	return nil
+}
+
+// Size returns the number of motif nodes.
+func (p *Pattern) Size() int { return p.Motif.NumNodes() }
+
+// nodeEnv resolves bare attribute names against one tuple.
+type nodeEnv struct{ attrs *graph.Tuple }
+
+// Resolve implements expr.Env.
+func (e nodeEnv) Resolve(parts []string) (graph.Value, error) {
+	if len(parts) != 1 {
+		return graph.Null, fmt.Errorf("pattern: qualified name %v in element-local predicate", parts)
+	}
+	return e.attrs.GetOr(parts[0]), nil
+}
+
+// NodeMatches reports whether data node (tuple) v satisfies pattern node u's
+// tag and local predicate — the feasible-mate test F_u(v) of Definition 4.8.
+func (p *Pattern) NodeMatches(u graph.NodeID, attrs *graph.Tuple) (bool, error) {
+	if tag := p.NodeTag[u]; tag != "" {
+		if attrs == nil || attrs.Tag != tag {
+			return false, nil
+		}
+	}
+	return expr.Holds(p.NodePred[u], nodeEnv{attrs})
+}
+
+// EdgeMatches reports whether a data edge's attributes satisfy pattern edge
+// e's local predicate F_e.
+func (p *Pattern) EdgeMatches(e graph.EdgeID, attrs *graph.Tuple) (bool, error) {
+	return expr.Holds(p.EdgePred[e], nodeEnv{attrs})
+}
+
+// String renders the pattern motif plus its full predicate: pushed-down
+// node and edge conjuncts are requalified with their element names and
+// conjoined with the residual graph-wide predicate, so the printed form is
+// semantically complete.
+func (p *Pattern) String() string {
+	s := p.Motif.String()
+	var parts []expr.Expr
+	for _, n := range p.Motif.Nodes() {
+		if e := p.NodePred[n.ID]; e != nil {
+			parts = append(parts, qualify(e, n.Name))
+		}
+	}
+	for _, ed := range p.Motif.Edges() {
+		if e := p.EdgePred[ed.ID]; e != nil {
+			parts = append(parts, qualify(e, ed.Name))
+		}
+	}
+	parts = append(parts, p.Global)
+	if full := expr.And(parts...); full != nil {
+		s += " where " + full.String()
+	}
+	return s
+}

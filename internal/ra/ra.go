@@ -1,0 +1,295 @@
+// Package ra implements a small set-semantics relational algebra — the five
+// primitive operators (selection, projection, Cartesian product, union,
+// difference) plus renaming — and the Theorem 4.5 bridge that embeds RA in
+// GraphQL: a relation is a collection of single-node graphs whose node
+// tuple is the relational tuple.
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+)
+
+// Relation is a named set of tuples over a schema (attribute name list).
+type Relation struct {
+	Name   string
+	Schema []string
+	tuples [][]graph.Value
+	seen   map[string]bool
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, schema ...string) *Relation {
+	return &Relation{Name: name, Schema: schema, seen: map[string]bool{}}
+}
+
+func key(vals []graph.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(v.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// Insert adds a tuple (set semantics); reports whether it was new.
+func (r *Relation) Insert(vals ...graph.Value) bool {
+	if len(vals) != len(r.Schema) {
+		panic(fmt.Sprintf("ra: arity mismatch inserting into %s: %d vs %d", r.Name, len(vals), len(r.Schema)))
+	}
+	k := key(vals)
+	if r.seen[k] {
+		return false
+	}
+	if r.seen == nil {
+		r.seen = map[string]bool{}
+	}
+	r.seen[k] = true
+	r.tuples = append(r.tuples, vals)
+	return true
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples for read-only iteration.
+func (r *Relation) Tuples() [][]graph.Value { return r.tuples }
+
+// col returns the index of an attribute in the schema.
+func (r *Relation) col(name string) (int, error) {
+	for i, s := range r.Schema {
+		if s == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("ra: relation %s has no attribute %q", r.Name, name)
+}
+
+// tupleEnv resolves bare attribute names against one tuple.
+type tupleEnv struct {
+	schema []string
+	vals   []graph.Value
+}
+
+// Resolve implements expr.Env.
+func (e tupleEnv) Resolve(parts []string) (graph.Value, error) {
+	name := parts[len(parts)-1]
+	for i, s := range e.schema {
+		if s == name {
+			return e.vals[i], nil
+		}
+	}
+	return graph.Null, nil
+}
+
+// Select returns the tuples satisfying the predicate (bare attribute
+// names).
+func Select(r *Relation, pred expr.Expr) (*Relation, error) {
+	out := NewRelation("σ("+r.Name+")", r.Schema...)
+	for _, t := range r.tuples {
+		ok, err := expr.Holds(pred, tupleEnv{r.Schema, t})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Insert(t...)
+		}
+	}
+	return out, nil
+}
+
+// Project keeps only the named attributes (with set-semantics dedup).
+func Project(r *Relation, attrs ...string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		c, err := r.col(a)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = c
+	}
+	out := NewRelation("π("+r.Name+")", attrs...)
+	for _, t := range r.tuples {
+		row := make([]graph.Value, len(idx))
+		for i, c := range idx {
+			row[i] = t[c]
+		}
+		out.Insert(row...)
+	}
+	return out, nil
+}
+
+// Product concatenates every pair of tuples; schemas must be disjoint.
+func Product(a, b *Relation) (*Relation, error) {
+	for _, s := range b.Schema {
+		for _, t := range a.Schema {
+			if s == t {
+				return nil, fmt.Errorf("ra: product schemas share attribute %q; rename first", s)
+			}
+		}
+	}
+	out := NewRelation(a.Name+"×"+b.Name, append(append([]string{}, a.Schema...), b.Schema...)...)
+	for _, ta := range a.tuples {
+		for _, tb := range b.tuples {
+			out.Insert(append(append([]graph.Value{}, ta...), tb...)...)
+		}
+	}
+	return out, nil
+}
+
+// sameSchema checks union-compatibility.
+func sameSchema(a, b *Relation) error {
+	if len(a.Schema) != len(b.Schema) {
+		return fmt.Errorf("ra: schemas %v and %v are not union-compatible", a.Schema, b.Schema)
+	}
+	for i := range a.Schema {
+		if a.Schema[i] != b.Schema[i] {
+			return fmt.Errorf("ra: schemas %v and %v are not union-compatible", a.Schema, b.Schema)
+		}
+	}
+	return nil
+}
+
+// Union returns a ∪ b.
+func Union(a, b *Relation) (*Relation, error) {
+	if err := sameSchema(a, b); err != nil {
+		return nil, err
+	}
+	out := NewRelation(a.Name+"∪"+b.Name, a.Schema...)
+	for _, t := range a.tuples {
+		out.Insert(t...)
+	}
+	for _, t := range b.tuples {
+		out.Insert(t...)
+	}
+	return out, nil
+}
+
+// Difference returns a − b.
+func Difference(a, b *Relation) (*Relation, error) {
+	if err := sameSchema(a, b); err != nil {
+		return nil, err
+	}
+	out := NewRelation(a.Name+"−"+b.Name, a.Schema...)
+	for _, t := range a.tuples {
+		if !b.seen[key(t)] {
+			out.Insert(t...)
+		}
+	}
+	return out, nil
+}
+
+// Rename returns a copy with attribute old renamed to new.
+func Rename(r *Relation, oldName, newName string) (*Relation, error) {
+	if _, err := r.col(oldName); err != nil {
+		return nil, err
+	}
+	schema := append([]string{}, r.Schema...)
+	for i, s := range schema {
+		if s == oldName {
+			schema[i] = newName
+		}
+	}
+	out := NewRelation("ρ("+r.Name+")", schema...)
+	for _, t := range r.tuples {
+		out.Insert(t...)
+	}
+	return out, nil
+}
+
+// Join is the derived natural-join on one shared attribute (after
+// renaming): σ_{a.x=b.y}(a × b) with y projected away.
+func Join(a, b *Relation, ax, bx string) (*Relation, error) {
+	ca, err := a.col(ax)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := b.col(bx)
+	if err != nil {
+		return nil, err
+	}
+	schema := append([]string{}, a.Schema...)
+	for i, s := range b.Schema {
+		if i == cb {
+			continue
+		}
+		schema = append(schema, s)
+	}
+	out := NewRelation(a.Name+"⋈"+b.Name, schema...)
+	for _, ta := range a.tuples {
+		for _, tb := range b.tuples {
+			if !ta[ca].Equal(tb[cb]) {
+				continue
+			}
+			row := append([]graph.Value{}, ta...)
+			for i, v := range tb {
+				if i != cb {
+					row = append(row, v)
+				}
+			}
+			out.Insert(row...)
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two relations hold the same tuple set over the same
+// schema (order-insensitive).
+func Equal(a, b *Relation) bool {
+	if sameSchema(a, b) != nil || a.Len() != b.Len() {
+		return false
+	}
+	for _, t := range a.tuples {
+		if !b.seen[key(t)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the tuples in a deterministic order, for printing.
+func (r *Relation) Sorted() [][]graph.Value {
+	out := append([][]graph.Value{}, r.tuples...)
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}
+
+// ---- Theorem 4.5 bridge: RA ⊆ GraphQL ----
+
+// ToCollection embeds a relation as a collection of single-node graphs: the
+// node's tuple is the relational tuple (the Theorem 4.5 construction).
+func ToCollection(r *Relation) graph.Collection {
+	out := make(graph.Collection, 0, len(r.tuples))
+	for i, t := range r.tuples {
+		g := graph.New(fmt.Sprintf("%s_%d", r.Name, i))
+		attrs := graph.NewTuple("")
+		for c, name := range r.Schema {
+			attrs.Set(name, t[c])
+		}
+		g.AddNode("t", attrs)
+		out = append(out, g)
+	}
+	return out
+}
+
+// FromCollection recovers a relation from a collection of single-node
+// graphs over the given schema. Node attribute sets must cover the schema.
+func FromCollection(c graph.Collection, name string, schema []string) (*Relation, error) {
+	out := NewRelation(name, schema...)
+	for _, g := range c {
+		if g.NumNodes() != 1 {
+			return nil, fmt.Errorf("ra: graph %s is not single-node", g.Name)
+		}
+		attrs := g.Node(0).Attrs
+		row := make([]graph.Value, len(schema))
+		for i, s := range schema {
+			row[i] = attrs.GetOr(s)
+		}
+		out.Insert(row...)
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+)
+
+func eq(l, r expr.Expr) expr.Expr  { return expr.Binary{Op: expr.OpEq, L: l, R: r} }
+func gt(l, r expr.Expr) expr.Expr  { return expr.Binary{Op: expr.OpGt, L: l, R: r} }
+func nm(parts ...string) expr.Expr { return expr.Name{Parts: parts} }
+
+func sampleEmp() *Relation {
+	r := NewRelation("emp", "name", "dept", "salary")
+	r.Insert(graph.String("ann"), graph.String("eng"), graph.Int(90))
+	r.Insert(graph.String("bob"), graph.String("eng"), graph.Int(80))
+	r.Insert(graph.String("cat"), graph.String("ops"), graph.Int(70))
+	return r
+}
+
+func TestInsertSetSemantics(t *testing.T) {
+	r := NewRelation("r", "x")
+	if !r.Insert(graph.Int(1)) || r.Insert(graph.Int(1)) {
+		t.Error("set semantics violated")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	emp := sampleEmp()
+	sel, err := Select(emp, eq(nm("dept"), expr.Lit{Val: graph.String("eng")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 2 {
+		t.Errorf("select = %d, want 2", sel.Len())
+	}
+	proj, err := Project(emp, "dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != 2 { // eng, ops — dedup
+		t.Errorf("project = %d, want 2", proj.Len())
+	}
+	if _, err := Project(emp, "nope"); err == nil {
+		t.Error("projecting unknown attribute should error")
+	}
+}
+
+func TestProductRequiresDisjointSchemas(t *testing.T) {
+	emp := sampleEmp()
+	if _, err := Product(emp, emp); err == nil {
+		t.Error("product of identical schemas should error")
+	}
+	ren, err := Rename(emp, "name", "name2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren, _ = Rename(ren, "dept", "dept2")
+	ren, _ = Rename(ren, "salary", "salary2")
+	prod, err := Product(emp, ren)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Len() != 9 {
+		t.Errorf("product = %d, want 9", prod.Len())
+	}
+}
+
+func TestUnionDifference(t *testing.T) {
+	a := NewRelation("a", "x")
+	b := NewRelation("b", "x")
+	a.Insert(graph.Int(1))
+	a.Insert(graph.Int(2))
+	b.Insert(graph.Int(2))
+	b.Insert(graph.Int(3))
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 3 {
+		t.Errorf("union = %d", u.Len())
+	}
+	d, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || !d.Tuples()[0][0].Equal(graph.Int(1)) {
+		t.Errorf("difference wrong")
+	}
+	bad := NewRelation("bad", "y")
+	if _, err := Union(a, bad); err == nil {
+		t.Error("union of incompatible schemas should error")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	emp := sampleEmp()
+	dept := NewRelation("dept", "dname", "floor")
+	dept.Insert(graph.String("eng"), graph.Int(3))
+	dept.Insert(graph.String("ops"), graph.Int(1))
+	j, err := Join(emp, dept, "dept", "dname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Errorf("join = %d, want 3", j.Len())
+	}
+	if len(j.Schema) != 4 {
+		t.Errorf("join schema = %v", j.Schema)
+	}
+}
+
+func TestCollectionRoundtrip(t *testing.T) {
+	emp := sampleEmp()
+	coll := ToCollection(emp)
+	if len(coll) != 3 {
+		t.Fatalf("collection = %d graphs", len(coll))
+	}
+	back, err := FromCollection(coll, "emp", emp.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(emp, back) {
+		t.Error("roundtrip lost tuples")
+	}
+}
+
+// TestTheorem45Selection: RA selection equals GraphQL selection on the
+// embedded collection (single-node pattern with the same predicate).
+func TestTheorem45Selection(t *testing.T) {
+	emp := sampleEmp()
+	pred := gt(nm("salary"), expr.Lit{Val: graph.Int(75)})
+	want, err := Select(emp, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := pattern.New("P")
+	p.AddNode("t", nil, pred)
+	if err := p.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	var kept graph.Collection
+	for _, g := range ToCollection(emp) {
+		ok, err := match.Exists(p, g, nil, match.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			kept = append(kept, g)
+		}
+	}
+	got, err := FromCollection(kept, "got", emp.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(want, got) {
+		t.Errorf("RA select %d tuples, GraphQL select %d", want.Len(), got.Len())
+	}
+}
+
+// TestTheorem45SelectionRandom: the same equivalence on random relations
+// and random comparison predicates.
+func TestTheorem45SelectionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 20; trial++ {
+		r := NewRelation("r", "a", "b")
+		for i := 0; i < 20; i++ {
+			r.Insert(graph.Int(int64(rng.Intn(5))), graph.Int(int64(rng.Intn(5))))
+		}
+		ops := []expr.Op{expr.OpEq, expr.OpNe, expr.OpLt, expr.OpGe}
+		pred := expr.Binary{
+			Op: ops[rng.Intn(len(ops))],
+			L:  expr.Name{Parts: []string{"a"}},
+			R:  expr.Lit{Val: graph.Int(int64(rng.Intn(5)))},
+		}
+		want, err := Select(r, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pattern.New("P")
+		p.AddNode("t", nil, pred)
+		var kept graph.Collection
+		for _, g := range ToCollection(r) {
+			ok, err := match.Exists(p, g, nil, match.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				kept = append(kept, g)
+			}
+		}
+		got, err := FromCollection(kept, "got", r.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(want, got) {
+			t.Fatalf("trial %d: selection mismatch: RA %d vs GraphQL %d", trial, want.Len(), got.Len())
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := sampleEmp()
+	b := sampleEmp()
+	if !Equal(a, b) {
+		t.Error("identical relations should be equal")
+	}
+	b.Insert(graph.String("dan"), graph.String("ops"), graph.Int(60))
+	if Equal(a, b) {
+		t.Error("different sizes should differ")
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	r := NewRelation("r", "x")
+	r.Insert(graph.Int(3))
+	r.Insert(graph.Int(1))
+	r.Insert(graph.Int(2))
+	s := r.Sorted()
+	if !(s[0][0].AsInt() == 1 && s[1][0].AsInt() == 2 && s[2][0].AsInt() == 3) {
+		t.Errorf("Sorted = %v", s)
+	}
+}

@@ -1,0 +1,291 @@
+// Package reach implements a reachability index for large directed graphs
+// — the access-method family §6.2 surveys for recursive path patterns
+// ("reachability queries correspond to recursive graph patterns which are
+// paths"; indexing is "generally based on spanning trees with pre/post-
+// order labeling"). The index condenses strongly connected components with
+// Tarjan's algorithm and labels the resulting DAG with k randomized
+// post-order intervals (GRAIL-style): interval containment in every
+// labeling is a necessary condition for reachability, so most negative
+// queries answer in O(k); positives are confirmed by an interval-pruned
+// DFS.
+package reach
+
+import (
+	"math/rand"
+
+	"gqldb/internal/graph"
+)
+
+// Index answers reachability queries over one directed graph.
+type Index struct {
+	g *graph.Graph
+	// comp[v] is the strongly connected component of node v.
+	comp []int32
+	// dag is the condensation's adjacency (deduplicated).
+	dag [][]int32
+	// k interval labelings over components: label i gives each component
+	// c the interval [low[i][c], post[i][c]]; u reaches v only if u's
+	// interval contains v's in every labeling.
+	low, post [][]int32
+	numComp   int
+}
+
+// DefaultLabelings is the number of randomized interval labelings.
+const DefaultLabelings = 3
+
+// New builds the index. k is the number of randomized labelings
+// (0 = DefaultLabelings); seed makes the labelings deterministic.
+func New(g *graph.Graph, k int, seed int64) *Index {
+	if k <= 0 {
+		k = DefaultLabelings
+	}
+	ix := &Index{g: g}
+	ix.condense()
+	ix.label(k, seed)
+	return ix
+}
+
+// condense runs Tarjan's SCC algorithm (iteratively, so recursion depth is
+// not bound by the graph's size).
+func (ix *Index) condense() {
+	n := ix.g.NumNodes()
+	ix.comp = make([]int32, n)
+	for i := range ix.comp {
+		ix.comp[i] = -1
+	}
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	next := int32(0)
+	numComp := int32(0)
+
+	type frame struct {
+		v   int32
+		ei  int
+		adj []graph.Half
+	}
+	var frames []frame
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: int32(s), adj: ix.g.Adj(graph.NodeID(s))})
+		index[s] = next
+		lowlink[s] = next
+		next++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.ei < len(f.adj) {
+				w := int32(f.adj[f.ei].To)
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, adj: ix.g.Adj(graph.NodeID(w))})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-visit of f.v.
+			v := f.v
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					ix.comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+		}
+	}
+	ix.numComp = int(numComp)
+
+	// Condensed adjacency, deduplicated.
+	ix.dag = make([][]int32, ix.numComp)
+	seen := make(map[[2]int32]bool)
+	for _, e := range ix.g.Edges() {
+		cu, cv := ix.comp[e.From], ix.comp[e.To]
+		if cu == cv {
+			continue
+		}
+		k := [2]int32{cu, cv}
+		if !seen[k] {
+			seen[k] = true
+			ix.dag[cu] = append(ix.dag[cu], cv)
+		}
+	}
+}
+
+// label computes k randomized post-order interval labelings of the DAG.
+func (ix *Index) label(k int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ix.low = make([][]int32, k)
+	ix.post = make([][]int32, k)
+	order := make([]int32, ix.numComp)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	childBuf := make([][]int32, ix.numComp)
+	for li := 0; li < k; li++ {
+		low := make([]int32, ix.numComp)
+		post := make([]int32, ix.numComp)
+		for i := range post {
+			post[i] = -1
+		}
+		// Randomize root order and child order.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for c := range childBuf {
+			childBuf[c] = append(childBuf[c][:0], ix.dag[c]...)
+			rng.Shuffle(len(childBuf[c]), func(i, j int) {
+				childBuf[c][i], childBuf[c][j] = childBuf[c][j], childBuf[c][i]
+			})
+		}
+		counter := int32(0)
+		// Iterative post-order: state 0 = unvisited, 1 = expanded,
+		// 2 = finished. Duplicate stack entries are skipped on pop.
+		state := make([]uint8, ix.numComp)
+		var stack []int32
+		for _, root := range order {
+			if state[root] == 2 {
+				continue
+			}
+			stack = append(stack[:0], root)
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				switch state[c] {
+				case 0:
+					state[c] = 1
+					for _, w := range childBuf[c] {
+						if state[w] == 0 {
+							stack = append(stack, w)
+						}
+					}
+				case 1:
+					stack = stack[:len(stack)-1]
+					state[c] = 2
+					// low = min over children's lows, else own rank.
+					l := counter
+					for _, w := range ix.dag[c] {
+						if low[w] < l {
+							l = low[w]
+						}
+					}
+					low[c] = l
+					post[c] = counter
+					counter++
+				default:
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+		ix.low[li] = low
+		ix.post[li] = post
+	}
+}
+
+// CanReach reports whether a directed path leads from u to v.
+func (ix *Index) CanReach(u, v graph.NodeID) bool {
+	cu, cv := ix.comp[u], ix.comp[v]
+	return ix.reachComp(cu, cv, nil)
+}
+
+// contains reports whether cu's interval contains cv's in every labeling —
+// necessary for reachability.
+func (ix *Index) contains(cu, cv int32) bool {
+	for li := range ix.post {
+		if !(ix.low[li][cu] <= ix.low[li][cv] && ix.post[li][cv] <= ix.post[li][cu]) {
+			return false
+		}
+	}
+	return true
+}
+
+// reachComp answers reachability on the condensation with interval-pruned
+// DFS; visited is lazily allocated.
+func (ix *Index) reachComp(cu, cv int32, visited []bool) bool {
+	if cu == cv {
+		return true
+	}
+	if !ix.contains(cu, cv) {
+		return false
+	}
+	if visited == nil {
+		visited = make([]bool, ix.numComp)
+	}
+	visited[cu] = true
+	for _, w := range ix.dag[cu] {
+		if visited[w] {
+			continue
+		}
+		if w == cv {
+			return true
+		}
+		if !ix.contains(w, cv) {
+			continue
+		}
+		if ix.reachComp(w, cv, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumComponents returns the number of strongly connected components.
+func (ix *Index) NumComponents() int { return ix.numComp }
+
+// Component returns the SCC ordinal of a node.
+func (ix *Index) Component(v graph.NodeID) int32 { return ix.comp[v] }
+
+// PathPairs finds all (u, v) node pairs where u carries fromLabel, v
+// carries toLabel and v is reachable from u — the recursive path-pattern
+// query the index serves as an access method for (§6.2).
+func (ix *Index) PathPairs(fromLabel, toLabel string) [][2]graph.NodeID {
+	var from, to []graph.NodeID
+	for _, n := range ix.g.Nodes() {
+		switch ix.g.Label(n.ID) {
+		case fromLabel:
+			from = append(from, n.ID)
+			if toLabel == fromLabel {
+				to = append(to, n.ID)
+			}
+		case toLabel:
+			to = append(to, n.ID)
+		}
+	}
+	var out [][2]graph.NodeID
+	for _, u := range from {
+		for _, v := range to {
+			if u != v && ix.CanReach(u, v) {
+				out = append(out, [2]graph.NodeID{u, v})
+			}
+		}
+	}
+	return out
+}

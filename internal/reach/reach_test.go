@@ -1,0 +1,258 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gqldb/internal/graph"
+)
+
+// bfsReach computes ground-truth reachability from u.
+func bfsReach(g *graph.Graph, u graph.NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	seen[u] = true
+	queue := []graph.NodeID{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(v) {
+			if !seen[h.To] {
+				seen[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return seen
+}
+
+func randomDigraph(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.NewDirected("d")
+	for i := 0; i < n; i++ {
+		g.AddNode("", graph.TupleOf("", "label", string(rune('A'+rng.Intn(4)))))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge("", graph.NodeID(u), graph.NodeID(v), nil)
+		}
+	}
+	return g
+}
+
+func TestChain(t *testing.T) {
+	g := graph.NewDirected("chain")
+	var ids []graph.NodeID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, g.AddNode("", graph.TupleOf("", "label", "X")))
+	}
+	for i := 1; i < 10; i++ {
+		g.AddEdge("", ids[i-1], ids[i], nil)
+	}
+	ix := New(g, 2, 1)
+	if ix.NumComponents() != 10 {
+		t.Errorf("components = %d, want 10", ix.NumComponents())
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			want := i <= j
+			if got := ix.CanReach(ids[i], ids[j]); got != want {
+				t.Errorf("CanReach(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCycleCollapses(t *testing.T) {
+	g := graph.NewDirected("cyc")
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	d := g.AddNode("d", nil)
+	g.AddEdge("", a, b, nil)
+	g.AddEdge("", b, c, nil)
+	g.AddEdge("", c, a, nil) // cycle a-b-c
+	g.AddEdge("", c, d, nil)
+	ix := New(g, 2, 7)
+	if ix.NumComponents() != 2 {
+		t.Errorf("components = %d, want 2", ix.NumComponents())
+	}
+	if ix.Component(a) != ix.Component(c) {
+		t.Error("cycle members should share a component")
+	}
+	if !ix.CanReach(a, d) || !ix.CanReach(b, a) {
+		t.Error("reachability within/out of cycle wrong")
+	}
+	if ix.CanReach(d, a) {
+		t.Error("d should not reach the cycle")
+	}
+}
+
+// TestAgainstBFS cross-validates all pairs on random cyclic digraphs.
+func TestAgainstBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomDigraph(rng, n, rng.Intn(3*n))
+		ix := New(g, 1+rng.Intn(4), seed)
+		for u := 0; u < n; u++ {
+			truth := bfsReach(g, graph.NodeID(u))
+			for v := 0; v < n; v++ {
+				if ix.CanReach(graph.NodeID(u), graph.NodeID(v)) != truth[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathPairs(t *testing.T) {
+	g := graph.NewDirected("g")
+	a1 := g.AddNode("", graph.TupleOf("", "label", "A"))
+	a2 := g.AddNode("", graph.TupleOf("", "label", "A"))
+	b1 := g.AddNode("", graph.TupleOf("", "label", "B"))
+	mid := g.AddNode("", graph.TupleOf("", "label", "X"))
+	g.AddEdge("", a1, mid, nil)
+	g.AddEdge("", mid, b1, nil)
+	// a2 is isolated from b1.
+	ix := New(g, 2, 3)
+	pairs := ix.PathPairs("A", "B")
+	if len(pairs) != 1 || pairs[0][0] != a1 || pairs[0][1] != b1 {
+		t.Errorf("PathPairs = %v, want [[a1 b1]]", pairs)
+	}
+	_ = a2
+	// Same-label pairs exclude identity.
+	if got := ix.PathPairs("A", "A"); len(got) != 0 {
+		t.Errorf("A->A pairs = %v, want none", got)
+	}
+}
+
+func TestLargeDAGSpotCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Layered DAG: edges only go to higher layers — no SCCs.
+	const layers, width = 20, 50
+	g := graph.NewDirected("dag")
+	for i := 0; i < layers*width; i++ {
+		g.AddNode("", graph.TupleOf("", "label", "X"))
+	}
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			for k := 0; k < 3; k++ {
+				from := graph.NodeID(l*width + i)
+				to := graph.NodeID((l+1)*width + rng.Intn(width))
+				g.AddEdge("", from, to, nil)
+			}
+		}
+	}
+	ix := New(g, 3, 11)
+	if ix.NumComponents() != layers*width {
+		t.Fatalf("DAG should have %d singleton components, got %d", layers*width, ix.NumComponents())
+	}
+	// Spot-check 200 random pairs against BFS.
+	for trial := 0; trial < 200; trial++ {
+		u := graph.NodeID(rng.Intn(layers * width))
+		truth := bfsReach(g, u)
+		v := graph.NodeID(rng.Intn(layers * width))
+		if ix.CanReach(u, v) != truth[v] {
+			t.Fatalf("CanReach(%d,%d) = %v, truth %v", u, v, ix.CanReach(u, v), truth[v])
+		}
+	}
+}
+
+func BenchmarkCanReach(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomDigraph(rng, 20000, 60000)
+	ix := New(g, 3, 2)
+	pairs := make([][2]graph.NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(20000)), graph.NodeID(rng.Intn(20000))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		ix.CanReach(p[0], p[1])
+	}
+}
+
+// TestTwoHopAgainstBFS cross-validates the 2-hop cover on random cyclic
+// digraphs against BFS ground truth.
+func TestTwoHopAgainstBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomDigraph(rng, n, rng.Intn(3*n))
+		th := NewTwoHop(g)
+		for u := 0; u < n; u++ {
+			truth := bfsReach(g, graph.NodeID(u))
+			for v := 0; v < n; v++ {
+				if th.CanReach(graph.NodeID(u), graph.NodeID(v)) != truth[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTwoHopAgreesWithInterval: both indexes answer identically.
+func TestTwoHopAgreesWithInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 40 + rng.Intn(40)
+		g := randomDigraph(rng, n, 2*n)
+		ix := New(g, 3, int64(trial))
+		th := NewTwoHop(g)
+		for q := 0; q < 500; q++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if ix.CanReach(u, v) != th.CanReach(u, v) {
+				t.Fatalf("trial %d: indexes disagree on (%d,%d)", trial, u, v)
+			}
+		}
+	}
+}
+
+// TestTwoHopLabelSize: pruning must keep labels well below the quadratic
+// worst case on a layered DAG.
+func TestTwoHopLabelSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const layers, width = 10, 30
+	g := graph.NewDirected("dag")
+	for i := 0; i < layers*width; i++ {
+		g.AddNode("", graph.TupleOf("", "label", "X"))
+	}
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			for k := 0; k < 2; k++ {
+				g.AddEdge("", graph.NodeID(l*width+i), graph.NodeID((l+1)*width+rng.Intn(width)), nil)
+			}
+		}
+	}
+	th := NewTwoHop(g)
+	nn := layers * width
+	if th.LabelSize() > nn*nn/4 {
+		t.Errorf("label size %d too close to quadratic (%d nodes)", th.LabelSize(), nn)
+	}
+}
+
+func BenchmarkTwoHopQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomDigraph(rng, 20000, 60000)
+	th := NewTwoHop(g)
+	pairs := make([][2]graph.NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(20000)), graph.NodeID(rng.Intn(20000))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		th.CanReach(p[0], p[1])
+	}
+}

@@ -1,0 +1,172 @@
+package reach
+
+import (
+	"sort"
+
+	"gqldb/internal/graph"
+)
+
+// TwoHop is a 2-hop-cover reachability index (§6.2 cites 2-hop labels as
+// the other major indexing family, [10, 11, 31]): every node carries
+// sorted label sets Lin and Lout such that u reaches v iff
+// Lout(u) ∩ Lin(v) ≠ ∅ (with u and v included in their own labels). The
+// cover is built by pruned landmark labeling: landmarks are processed in
+// descending degree order, and each landmark's forward/backward BFS skips
+// nodes whose reachability to the landmark is already answered by the
+// labels built so far — which both prunes the traversal and keeps labels
+// minimal. Queries are then a sorted-list intersection, with no DFS
+// fallback.
+type TwoHop struct {
+	g    *graph.Graph
+	comp []int32
+	dag  [][]int32
+	rdag [][]int32
+	// in[c] and out[c] are sorted landmark lists for component c.
+	in, out [][]int32
+	numComp int
+}
+
+// NewTwoHop builds the 2-hop cover.
+func NewTwoHop(g *graph.Graph) *TwoHop {
+	// Reuse the SCC condensation of the interval index.
+	base := &Index{g: g}
+	base.condense()
+	th := &TwoHop{
+		g:       g,
+		comp:    base.comp,
+		dag:     base.dag,
+		numComp: base.numComp,
+	}
+	th.rdag = make([][]int32, th.numComp)
+	for c, outs := range th.dag {
+		for _, w := range outs {
+			th.rdag[w] = append(th.rdag[w], int32(c))
+		}
+	}
+	th.build()
+	return th
+}
+
+// build runs pruned landmark labeling over the condensation.
+func (th *TwoHop) build() {
+	n := th.numComp
+	th.in = make([][]int32, n)
+	th.out = make([][]int32, n)
+
+	// Landmark order: descending total degree in the DAG (high-coverage
+	// hubs first keeps labels small).
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	deg := make([]int, n)
+	for c := 0; c < n; c++ {
+		deg[c] = len(th.dag[c]) + len(th.rdag[c])
+	}
+	sort.SliceStable(order, func(i, j int) bool { return deg[order[i]] > deg[order[j]] })
+
+	queue := make([]int32, 0, n)
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	// Labels store landmark *ranks* (not component ids): each BFS appends
+	// the current rank, so lists stay sorted and intersect by merge.
+	for rank, lm := range order {
+		r := int32(rank)
+		// Forward BFS: lm reaches u → add rank to in[u].
+		queue = append(queue[:0], lm)
+		seen[lm] = r
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			// Prune: if earlier labels already answer lm ⇝ u, skip
+			// expanding u (and do not add the label).
+			if u != lm && th.covered(lm, u) {
+				continue
+			}
+			if u != lm {
+				th.in[u] = append(th.in[u], r)
+			}
+			for _, w := range th.dag[u] {
+				if seen[w] != r {
+					seen[w] = r
+					queue = append(queue, w)
+				}
+			}
+		}
+		// Backward BFS with a distinct visited epoch.
+		epoch := r + int32(n)
+		queue = append(queue[:0], lm)
+		seen[lm] = epoch
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if u != lm && th.covered(u, lm) {
+				continue
+			}
+			if u != lm {
+				th.out[u] = append(th.out[u], r)
+			}
+			for _, w := range th.rdag[u] {
+				if seen[w] != epoch {
+					seen[w] = epoch
+					queue = append(queue, w)
+				}
+			}
+		}
+		// The landmark covers itself in both directions.
+		th.in[lm] = insertSorted(th.in[lm], r)
+		th.out[lm] = insertSorted(th.out[lm], r)
+	}
+}
+
+func insertSorted(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// covered reports whether the labels built so far already witness u ⇝ v.
+// During construction labels hold component ids in rank-append order,
+// which is ascending by construction, so a merge intersection works.
+func (th *TwoHop) covered(u, v int32) bool {
+	return intersects(th.out[u], th.in[v])
+}
+
+func intersects(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// CanReach reports whether a directed path leads from u to v.
+func (th *TwoHop) CanReach(u, v graph.NodeID) bool {
+	cu, cv := th.comp[u], th.comp[v]
+	if cu == cv {
+		return true
+	}
+	return intersects(th.out[cu], th.in[cv])
+}
+
+// LabelSize returns the total number of label entries — the index size the
+// 2-hop literature optimizes.
+func (th *TwoHop) LabelSize() int {
+	total := 0
+	for c := 0; c < th.numComp; c++ {
+		total += len(th.in[c]) + len(th.out[c])
+	}
+	return total
+}

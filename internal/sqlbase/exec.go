@@ -1,0 +1,550 @@
+package sqlbase
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gqldb/internal/graph"
+)
+
+// The planner mimics a conventional RDBMS optimizer: it greedily builds a
+// left-deep index-nested-loop plan, starting from the alias with the most
+// selective constant predicate and repeatedly joining the cheapest alias
+// that has an indexable equality condition against the already-bound set.
+// Selectivity is estimated from per-index distinct-key statistics — exactly
+// the per-column information a relational engine has. What it lacks, by
+// construction, is any notion of graph structure: no neighborhood pruning,
+// no joint search-space reduction (§1.2).
+
+// plannedAlias is the compiled access info for one FROM item.
+type plannedAlias struct {
+	item  FromItem
+	table *Table
+	// constEq are conditions alias.col = literal.
+	constEq []plannedCond
+	// others are all remaining conditions in which this alias appears.
+	others []int // indexes into stmt.Where
+}
+
+type plannedCond struct {
+	col int
+	val graph.Value
+}
+
+// errStop aborts the nested-loop recursion once a row limit is reached.
+var errStop = fmt.Errorf("sqlbase: row limit reached")
+
+// Exec runs a parsed SELECT and returns the projected rows.
+func (db *DB) Exec(st *SelectStmt) ([][]graph.Value, error) {
+	return db.ExecLimit(st, 0)
+}
+
+// ExecLimit runs a parsed SELECT, stopping as soon as limit rows have been
+// produced (0 = unlimited) — the harness's early-termination rule for
+// high-hit queries.
+func (db *DB) ExecLimit(st *SelectStmt, limit int) ([][]graph.Value, error) {
+	plan, err := db.plan(st)
+	if err != nil {
+		return nil, err
+	}
+	return db.run(st, plan, limit)
+}
+
+// ExecSQL parses and runs a query string.
+func (db *DB) ExecSQL(src string) ([][]graph.Value, error) {
+	st, err := ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(st)
+}
+
+func litValue(l *Literal) graph.Value {
+	switch {
+	case l.IsInt:
+		return graph.Int(l.Int)
+	case l.IsStr:
+		return graph.String(l.Str)
+	default:
+		return graph.Float(l.Float)
+	}
+}
+
+// plan orders the FROM aliases into a left-deep join sequence.
+func (db *DB) plan(st *SelectStmt) ([]int, error) {
+	n := len(st.From)
+	aliases := make([]*plannedAlias, n)
+	byAlias := map[string]int{}
+	for i, f := range st.From {
+		t, ok := db.Table(f.Table)
+		if !ok {
+			return nil, fmt.Errorf("sqlbase: unknown table %q", f.Table)
+		}
+		if _, dup := byAlias[f.Alias]; dup {
+			return nil, fmt.Errorf("sqlbase: duplicate alias %q", f.Alias)
+		}
+		byAlias[f.Alias] = i
+		aliases[i] = &plannedAlias{item: f, table: t}
+	}
+	condAliases := make([][]int, len(st.Where))
+	for ci, c := range st.Where {
+		var touched []int
+		for _, op := range []Operand{c.L, c.R} {
+			if op.Col != nil {
+				ai, ok := byAlias[op.Col.Alias]
+				if !ok {
+					return nil, fmt.Errorf("sqlbase: unknown alias %q", op.Col.Alias)
+				}
+				touched = append(touched, ai)
+			}
+		}
+		condAliases[ci] = touched
+		// Record constant equalities for the seed estimate.
+		if c.Op == "=" {
+			if c.L.Col != nil && c.R.Lit != nil {
+				ai := byAlias[c.L.Col.Alias]
+				col, err := aliases[ai].table.Col(c.L.Col.Col)
+				if err != nil {
+					return nil, err
+				}
+				aliases[ai].constEq = append(aliases[ai].constEq, plannedCond{col, litValue(c.R.Lit)})
+			}
+			if c.R.Col != nil && c.L.Lit != nil {
+				ai := byAlias[c.R.Col.Alias]
+				col, err := aliases[ai].table.Col(c.R.Col.Col)
+				if err != nil {
+					return nil, err
+				}
+				aliases[ai].constEq = append(aliases[ai].constEq, plannedCond{col, litValue(c.L.Lit)})
+			}
+		}
+		for _, ai := range touched {
+			aliases[ai].others = append(aliases[ai].others, ci)
+		}
+	}
+
+	// Base cardinality estimate for each alias alone.
+	base := make([]float64, n)
+	for i, a := range aliases {
+		est := float64(len(a.table.Rows))
+		for _, ce := range a.constEq {
+			if rows, ok := a.table.probe(ce.col, ce.val); ok {
+				if e := float64(len(rows)); e < est {
+					est = e
+				}
+			}
+		}
+		base[i] = est
+	}
+
+	// extension estimates the rows scanned when joining alias i to the
+	// already-bound set.
+	extension := func(i int, used func(int) bool) (float64, error) {
+		cost := base[i]
+		joined := false
+		for _, ci := range aliases[i].others {
+			c := st.Where[ci]
+			if c.Op != "=" || c.L.Col == nil || c.R.Col == nil {
+				continue
+			}
+			li, ri := byAlias[c.L.Col.Alias], byAlias[c.R.Col.Alias]
+			var probeCol string
+			switch {
+			case li == i && used(ri):
+				probeCol = c.L.Col.Col
+			case ri == i && used(li):
+				probeCol = c.R.Col.Col
+			default:
+				continue
+			}
+			col, err := aliases[i].table.Col(probeCol)
+			if err != nil {
+				return 0, err
+			}
+			if est, ok := aliases[i].table.estProbe(col); ok {
+				joined = true
+				if est < cost {
+					cost = est
+				}
+			}
+		}
+		if !joined {
+			cost = base[i] * 1e6 // cross product: strongly penalize
+		}
+		return cost, nil
+	}
+
+	greedy, err := greedyPlan(n, base, extension)
+	if err != nil {
+		return nil, err
+	}
+	if db.Planner == PlanExhaustive && n <= 62 {
+		return db.exhaustivePlan(n, base, extension, greedy)
+	}
+	return greedy, nil
+}
+
+// planCost evaluates the estimated cost of a complete join order.
+func planCost(order []int, base []float64, extension func(int, func(int) bool) (float64, error)) (float64, error) {
+	used := make([]bool, len(base))
+	isUsed := func(i int) bool { return used[i] }
+	card, cost := 1.0, 0.0
+	for pos, i := range order {
+		var scan float64
+		var err error
+		if pos == 0 {
+			scan = base[i]
+		} else {
+			scan, err = extension(i, isUsed)
+			if err != nil {
+				return 0, err
+			}
+		}
+		card *= scan
+		cost += card
+		used[i] = true
+	}
+	return cost, nil
+}
+
+// greedyPlan picks the smallest seed and repeatedly joins the cheapest
+// extension.
+func greedyPlan(n int, base []float64, extension func(int, func(int) bool) (float64, error)) ([]int, error) {
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	isUsed := func(i int) bool { return used[i] }
+	best := 0
+	for i := 1; i < n; i++ {
+		if base[i] < base[best] {
+			best = i
+		}
+	}
+	order = append(order, best)
+	used[best] = true
+	for len(order) < n {
+		bestIdx, bestCost := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			cost, err := extension(i, isUsed)
+			if err != nil {
+				return nil, err
+			}
+			if cost < bestCost {
+				bestIdx, bestCost = i, cost
+			}
+		}
+		order = append(order, bestIdx)
+		used[bestIdx] = true
+	}
+	return order, nil
+}
+
+// exhaustivePlan searches all left-deep join orders depth-first with
+// best-so-far pruning (the MySQL-5.0-style optimizer), seeded with the
+// greedy plan as the incumbent so the result is never worse than greedy
+// even when the node budget stops the search early. The planning effort
+// itself grows steeply with the number of joins — the §1.2 scaling effect.
+func (db *DB) exhaustivePlan(n int, base []float64, extension func(int, func(int) bool) (float64, error), greedy []int) ([]int, error) {
+	budget := db.PlanBudget
+	if budget <= 0 {
+		budget = 3_000_000
+	}
+	visits := 0
+	bestCost, err := planCost(greedy, base, extension)
+	if err != nil {
+		return nil, err
+	}
+	bestOrder := append([]int(nil), greedy...)
+	order := make([]int, 0, n)
+	var mask uint64
+	isUsed := func(i int) bool { return mask&(1<<i) != 0 }
+
+	var dfs func(card, cost float64) error
+	dfs = func(card, cost float64) error {
+		if cost >= bestCost {
+			return nil
+		}
+		if len(order) == n {
+			bestCost = cost
+			bestOrder = append(bestOrder[:0], order...)
+			return nil
+		}
+		for i := 0; i < n && visits < budget; i++ {
+			if isUsed(i) {
+				continue
+			}
+			visits++
+			var scan float64
+			var err error
+			if len(order) == 0 {
+				scan = base[i]
+			} else {
+				scan, err = extension(i, isUsed)
+				if err != nil {
+					return err
+				}
+			}
+			newCard := card * scan
+			newCost := cost + newCard
+			order = append(order, i)
+			mask |= 1 << i
+			if err := dfs(newCard, newCost); err != nil {
+				return err
+			}
+			order = order[:len(order)-1]
+			mask &^= 1 << i
+		}
+		return nil
+	}
+	if err := dfs(1, 0); err != nil {
+		return nil, err
+	}
+	return bestOrder, nil
+}
+
+// run executes the nested-loop plan.
+func (db *DB) run(st *SelectStmt, order []int, limit int) ([][]graph.Value, error) {
+	n := len(st.From)
+	byAlias := map[string]int{}
+	tables := make([]*Table, n)
+	for i, f := range st.From {
+		byAlias[f.Alias] = i
+		tables[i], _ = db.Table(f.Table)
+	}
+	colOf := func(ref *ColRef) (int, int, error) {
+		ai, ok := byAlias[ref.Alias]
+		if !ok {
+			return 0, 0, fmt.Errorf("sqlbase: unknown alias %q", ref.Alias)
+		}
+		c, err := tables[ai].Col(ref.Col)
+		return ai, c, err
+	}
+	// Validate the projection list eagerly so queries over empty tables
+	// still report bad column references.
+	for i := range st.Cols {
+		if _, _, err := colOf(&st.Cols[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Precompile conditions: per step (position in order), the conditions
+	// fully bound once that step's alias is placed.
+	type compiled struct {
+		lAlias, lCol int
+		lLit         graph.Value
+		lIsLit       bool
+		op           string
+		rAlias, rCol int
+		rLit         graph.Value
+		rIsLit       bool
+	}
+	pos := make([]int, n)
+	for i, ai := range order {
+		pos[ai] = i
+	}
+	stepConds := make([][]compiled, n)
+	// probes[i] lists equality conditions usable as index probes when
+	// placing step i: (boundAlias, boundCol, myCol).
+	type probe struct {
+		srcAlias, srcCol int
+		myCol            int
+	}
+	stepProbes := make([][]probe, n)
+	stepConstEq := make([][]plannedCond, n)
+
+	for _, c := range st.Where {
+		var comp compiled
+		comp.op = c.Op
+		maxPos := -1
+		if c.L.Col != nil {
+			ai, col, err := colOf(c.L.Col)
+			if err != nil {
+				return nil, err
+			}
+			comp.lAlias, comp.lCol = ai, col
+			if pos[ai] > maxPos {
+				maxPos = pos[ai]
+			}
+		} else {
+			comp.lIsLit, comp.lLit = true, litValue(c.L.Lit)
+		}
+		if c.R.Col != nil {
+			ai, col, err := colOf(c.R.Col)
+			if err != nil {
+				return nil, err
+			}
+			comp.rAlias, comp.rCol = ai, col
+			if pos[ai] > maxPos {
+				maxPos = pos[ai]
+			}
+		} else {
+			comp.rIsLit, comp.rLit = true, litValue(c.R.Lit)
+		}
+		if maxPos < 0 {
+			return nil, fmt.Errorf("sqlbase: condition with no column reference")
+		}
+		stepConds[maxPos] = append(stepConds[maxPos], comp)
+		if c.Op == "=" {
+			switch {
+			case c.L.Col != nil && c.R.Col != nil:
+				li, ri := byAlias[c.L.Col.Alias], byAlias[c.R.Col.Alias]
+				lc, _ := tables[li].Col(c.L.Col.Col)
+				rc, _ := tables[ri].Col(c.R.Col.Col)
+				if pos[li] > pos[ri] {
+					stepProbes[pos[li]] = append(stepProbes[pos[li]], probe{ri, rc, lc})
+				} else if pos[ri] > pos[li] {
+					stepProbes[pos[ri]] = append(stepProbes[pos[ri]], probe{li, lc, rc})
+				}
+			case c.L.Col != nil && c.R.Lit != nil:
+				ai := byAlias[c.L.Col.Alias]
+				col, _ := tables[ai].Col(c.L.Col.Col)
+				stepConstEq[pos[ai]] = append(stepConstEq[pos[ai]], plannedCond{col, litValue(c.R.Lit)})
+			case c.R.Col != nil && c.L.Lit != nil:
+				ai := byAlias[c.R.Col.Alias]
+				col, _ := tables[ai].Col(c.R.Col.Col)
+				stepConstEq[pos[ai]] = append(stepConstEq[pos[ai]], plannedCond{col, litValue(c.L.Lit)})
+			}
+		}
+	}
+
+	cur := make([][]graph.Value, n) // current row per alias
+	var out [][]graph.Value
+	project := func() error {
+		row := make([]graph.Value, len(st.Cols))
+		for i := range st.Cols {
+			ai, c, err := colOf(&st.Cols[i])
+			if err != nil {
+				return err
+			}
+			row[i] = cur[ai][c]
+		}
+		out = append(out, row)
+		if limit > 0 && len(out) >= limit {
+			return errStop
+		}
+		return nil
+	}
+
+	holds := func(c compiled) bool {
+		var l, r graph.Value
+		if c.lIsLit {
+			l = c.lLit
+		} else {
+			l = cur[c.lAlias][c.lCol]
+		}
+		if c.rIsLit {
+			r = c.rLit
+		} else {
+			r = cur[c.rAlias][c.rCol]
+		}
+		cmp, err := l.Compare(r)
+		if err != nil {
+			return c.op == "<>"
+		}
+		switch c.op {
+		case "=":
+			return cmp == 0
+		case "<>":
+			return cmp != 0
+		case "<":
+			return cmp < 0
+		case "<=":
+			return cmp <= 0
+		case ">":
+			return cmp > 0
+		case ">=":
+			return cmp >= 0
+		}
+		return false
+	}
+
+	var rec func(step int) error
+	rec = func(step int) error {
+		if step == n {
+			return project()
+		}
+		ai := order[step]
+		t := tables[ai]
+		// Choose the most selective available index probe.
+		var candidates []int32
+		haveProbe := false
+		tryProbe := func(col int, v graph.Value) {
+			if rows, ok := t.probe(col, v); ok {
+				if !haveProbe || len(rows) < len(candidates) {
+					candidates, haveProbe = rows, true
+				}
+			}
+		}
+		for _, ce := range stepConstEq[step] {
+			tryProbe(ce.col, ce.val)
+		}
+		for _, pr := range stepProbes[step] {
+			tryProbe(pr.myCol, cur[pr.srcAlias][pr.srcCol])
+		}
+		iterate := func(row []graph.Value) error {
+			cur[ai] = row
+			for _, c := range stepConds[step] {
+				if !holds(c) {
+					return nil
+				}
+			}
+			return rec(step + 1)
+		}
+		if haveProbe {
+			for _, rid := range candidates {
+				if err := iterate(t.Rows[rid]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, row := range t.Rows {
+			if err := iterate(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil && err != errStop {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Plan exposes the join-order planner for instrumentation and tests.
+func (db *DB) Plan(st *SelectStmt) ([]int, error) { return db.plan(st) }
+
+// Explain renders the chosen join order with per-step table/alias names,
+// an EXPLAIN-style view of the plan.
+func (db *DB) Explain(st *SelectStmt) (string, error) {
+	order, err := db.plan(st)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	mode := "greedy"
+	if db.Planner == PlanExhaustive {
+		mode = "exhaustive"
+	}
+	fmt.Fprintf(&b, "plan (%s, %d joins):\n", mode, len(order)-1)
+	for step, i := range order {
+		f := st.From[i]
+		fmt.Fprintf(&b, "  %2d. %s AS %s (%d rows)\n", step+1, f.Table, f.Alias, db.rowCount(f.Table))
+	}
+	return b.String(), nil
+}
+
+func (db *DB) rowCount(table string) int {
+	if t, ok := db.Table(table); ok {
+		return len(t.Rows)
+	}
+	return 0
+}
+
+// RunPlan executes a specific join order; exposed for instrumentation.
+func (db *DB) RunPlan(st *SelectStmt, order []int, limit int) ([][]graph.Value, error) {
+	return db.run(st, order, limit)
+}

@@ -1,0 +1,162 @@
+package sqlbase
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/pattern"
+)
+
+// rowsKey canonicalizes a result set for comparison.
+func rowsKey(rows [][]graph.Value) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.String())
+			b.WriteByte(',')
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// TestExhaustivePlannerSameResults: both planners must return the same row
+// set on random pattern queries; the exhaustive plan must never be worse
+// than greedy under the engine's own cost model.
+func TestExhaustivePlannerSameResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.New("G")
+		n := 30
+		for i := 0; i < n; i++ {
+			g.AddNode("", graph.TupleOf("", "label", string(rune('A'+rng.Intn(4)))))
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdgeBetween(graph.NodeID(u), graph.NodeID(v)) {
+				g.AddEdge("", graph.NodeID(u), graph.NodeID(v), nil)
+			}
+		}
+		p := pattern.New("P")
+		k := 3 + rng.Intn(2)
+		var ids []graph.NodeID
+		for i := 0; i < k; i++ {
+			ids = append(ids, p.LabelNode("", string(rune('A'+rng.Intn(4)))))
+		}
+		for i := 1; i < k; i++ {
+			p.AddEdge("", ids[rng.Intn(i)], ids[i], nil, nil)
+		}
+
+		greedyDB := NewDB()
+		if err := greedyDB.LoadGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		exDB := NewDB()
+		exDB.Planner = PlanExhaustive
+		if err := exDB.LoadGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		r1, err := greedyDB.MatchPattern(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := exDB.MatchPattern(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsKey(r1) != rowsKey(r2) {
+			t.Fatalf("trial %d: planners disagree: %d vs %d rows", trial, len(r1), len(r2))
+		}
+	}
+}
+
+// TestPlanBudget: a tiny budget must still produce a correct plan (the
+// greedy incumbent).
+func TestPlanBudget(t *testing.T) {
+	g := graph.New("G")
+	a := g.AddNode("", graph.TupleOf("", "label", "A"))
+	b := g.AddNode("", graph.TupleOf("", "label", "B"))
+	c := g.AddNode("", graph.TupleOf("", "label", "C"))
+	g.AddEdge("", a, b, nil)
+	g.AddEdge("", b, c, nil)
+	db := NewDB()
+	db.Planner = PlanExhaustive
+	db.PlanBudget = 1
+	if err := db.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.New("P")
+	pa := p.LabelNode("x", "A")
+	pb := p.LabelNode("y", "B")
+	p.AddEdge("", pa, pb, nil, nil)
+	rows, err := db.MatchPattern(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(rows))
+	}
+}
+
+// TestPlanExposed exercises the exported Plan/RunPlan instrumentation
+// hooks used by probes and docs.
+func TestPlanExposed(t *testing.T) {
+	g := graph.New("G")
+	a := g.AddNode("", graph.TupleOf("", "label", "A"))
+	b := g.AddNode("", graph.TupleOf("", "label", "B"))
+	g.AddEdge("", a, b, nil)
+	db := NewDB()
+	if err := db.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseSQL(`SELECT V1.vid FROM V AS V1, V AS V2, E AS E1
+		WHERE V1.label = 'A' AND V2.label = 'B'
+		AND V1.vid = E1.vid1 AND V2.vid = E1.vid2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := db.Plan(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	rows, err := db.RunPlan(st, order, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(rows))
+	}
+}
+
+func TestExplain(t *testing.T) {
+	g := graph.New("G")
+	a := g.AddNode("", graph.TupleOf("", "label", "A"))
+	b := g.AddNode("", graph.TupleOf("", "label", "B"))
+	g.AddEdge("", a, b, nil)
+	db := NewDB()
+	if err := db.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseSQL(`SELECT V1.vid FROM V AS V1, E AS E1
+		WHERE V1.label = 'A' AND V1.vid = E1.vid1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Explain(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan (greedy, 1 joins)", "V AS V1", "E AS E1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the measurement helpers of the §5 harness:
+// search-space reduction ratios aggregated in the log domain (the figures
+// plot ratios down to 1e-40, far below float64 granularity if multiplied
+// naively), low/high-hits bucketing, and plain-text/CSV table rendering for
+// the figure series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Agg accumulates a series of float64 samples.
+type Agg struct {
+	n   int
+	sum float64
+}
+
+// Add appends a sample.
+func (a *Agg) Add(x float64) {
+	a.n++
+	a.sum += x
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (a *Agg) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.sum / float64(a.n)
+}
+
+// N returns the sample count.
+func (a *Agg) N() int { return a.n }
+
+// ReductionRatioLog10 returns log10 of the §5.1 reduction ratio
+// |Φ(u1)|···|Φ(uk)| / |Φ0(u1)|···|Φ0(uk)| given the two log10 space sizes.
+func ReductionRatioLog10(logSpace, logBaseline float64) float64 {
+	return logSpace - logBaseline
+}
+
+// Bucket classifies a query by its answer count, per the §5.1 protocol:
+// queries with no answers are discarded, fewer than lowThreshold answers is
+// "low hits", anything else "high hits" (queries cut off at the hit limit
+// land in high hits).
+type Bucket uint8
+
+// Buckets.
+const (
+	BucketDiscard Bucket = iota
+	BucketLow
+	BucketHigh
+)
+
+// Classify applies the protocol.
+func Classify(answers, lowThreshold int) Bucket {
+	switch {
+	case answers == 0:
+		return BucketDiscard
+	case answers < lowThreshold:
+		return BucketLow
+	default:
+		return BucketHigh
+	}
+}
+
+// Table is one figure series: a title, column headers and rows of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed:
+// all harness cells are numbers and simple tokens).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FmtLog renders a log10 value as a power-of-ten string (e.g. "1.0e-12"),
+// the scale the figures use.
+func FmtLog(log10v float64) string {
+	if math.IsNaN(log10v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("1e%+.1f", log10v)
+}
+
+// FmtMs renders a duration in milliseconds with sensible precision.
+func FmtMs(ms float64) string {
+	if math.IsNaN(ms) {
+		return "n/a"
+	}
+	switch {
+	case ms >= 100:
+		return fmt.Sprintf("%.0f", ms)
+	case ms >= 1:
+		return fmt.Sprintf("%.1f", ms)
+	default:
+		return fmt.Sprintf("%.3f", ms)
+	}
+}

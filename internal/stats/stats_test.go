@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAgg(t *testing.T) {
+	var a Agg
+	if !math.IsNaN(a.Mean()) {
+		t.Error("empty mean should be NaN")
+	}
+	a.Add(1)
+	a.Add(3)
+	if a.Mean() != 2 || a.N() != 2 {
+		t.Errorf("mean = %v n = %d", a.Mean(), a.N())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		answers int
+		want    Bucket
+	}{
+		{0, BucketDiscard},
+		{1, BucketLow},
+		{99, BucketLow},
+		{100, BucketHigh},
+		{1000, BucketHigh},
+	}
+	for _, c := range cases {
+		if got := Classify(c.answers, 100); got != c.want {
+			t.Errorf("Classify(%d) = %v, want %v", c.answers, got, c.want)
+		}
+	}
+}
+
+func TestReductionRatio(t *testing.T) {
+	// Space 10^2 over baseline 10^5 → ratio 1e-3.
+	if got := ReductionRatioLog10(2, 5); got != -3 {
+		t.Errorf("ratio = %v", got)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"size", "value"}}
+	tb.AddRow("2", "10")
+	tb.AddRow("10", "3")
+	s := tb.Format()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[1], "size") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "size,value\n2,10\n") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtLog(math.NaN()) != "n/a" || FmtMs(math.NaN()) != "n/a" {
+		t.Error("NaN should render n/a")
+	}
+	if FmtLog(-3) != "1e-3.0" {
+		t.Errorf("FmtLog = %s", FmtLog(-3))
+	}
+	if FmtMs(123.4) != "123" || FmtMs(1.23) != "1.2" || FmtMs(0.5) != "0.500" {
+		t.Errorf("FmtMs: %s %s %s", FmtMs(123.4), FmtMs(1.23), FmtMs(0.5))
+	}
+}
