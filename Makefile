@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet gqlvet fuzz-smoke check
+
+all: check
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: run the unit and integration tests
+test:
+	$(GO) test ./...
+
+## race: run the tests under the race detector (includes the
+## ParallelSelection work-stealing stress tests)
+race:
+	$(GO) test -race ./...
+
+## vet: run the standard toolchain vet
+vet:
+	$(GO) vet ./...
+
+## gqlvet: run the project-specific analyzers (internal/analysis);
+## non-zero exit on any finding
+gqlvet:
+	$(GO) run ./cmd/gqlvet ./...
+
+## fuzz-smoke: brief parser fuzz (panics are failures); run longer
+## locally when touching internal/lexer or internal/parser
+fuzz-smoke:
+	$(GO) test ./internal/parser -run FuzzParse -fuzz FuzzParse -fuzztime 10s
+
+## check: everything CI runs
+check: build vet gqlvet test race fuzz-smoke

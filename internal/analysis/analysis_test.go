@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gqldb/internal/analysis"
+)
+
+// expectation is one want clause parsed from the corpus: the analyzer that
+// must fire on that line and a substring of its message.
+type expectation struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+}
+
+var wantRE = regexp.MustCompile("want:([a-z]+) `([^`]*)`")
+
+// parseExpectations scans every corpus file for want clauses.
+func parseExpectations(t *testing.T, root string) []expectation {
+	t.Helper()
+	var out []expectation
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				out = append(out, expectation{
+					file:     filepath.Base(path),
+					line:     i + 1,
+					analyzer: m[1],
+					substr:   m[2],
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking corpus: %v", err)
+	}
+	return out
+}
+
+// TestAnalyzersOnCorpus type-checks the testdata module and demands exact
+// agreement between the analyzers' diagnostics and the corpus want
+// clauses: every want must fire (flag cases) and nothing unannotated may
+// fire (allow cases).
+func TestAnalyzersOnCorpus(t *testing.T) {
+	root := filepath.Join("testdata", "src", "gqldb")
+	fset := token.NewFileSet()
+	passes, err := analysis.Load(fset, root, "gqldb")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	diags := analysis.Run(passes, analysis.All())
+
+	wants := parseExpectations(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no want clauses found in corpus")
+	}
+
+	// Every analyzer in the suite must have at least one flag case.
+	covered := map[string]bool{}
+	for _, w := range wants {
+		covered[w.analyzer] = true
+	}
+	for _, a := range analysis.All() {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s has no flag case in the corpus", a.Name)
+		}
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) == w.file && d.Pos.Line == w.line &&
+				d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic: %s:%d [%s] containing %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestSelfClean runs the full suite over this repository itself — the
+// acceptance bar for cmd/gqlvet: the shipped tree must be finding-free.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	fset := token.NewFileSet()
+	passes, err := analysis.LoadModule(fset, filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := analysis.Run(passes, analysis.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if t.Failed() {
+		t.Logf("%d findings; the tree must stay gqlvet-clean", len(diags))
+	}
+}
+
+// TestDiagnosticString pins the driver's output format.
+func TestDiagnosticString(t *testing.T) {
+	d := analysis.Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+		Analyzer: "panicfree",
+		Message:  "panic in hot-path function F",
+	}
+	got := d.String()
+	want := "a/b.go:12:3: [panicfree] panic in hot-path function F"
+	if got != want {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+	if fmt.Sprint(d) != want {
+		t.Errorf("fmt.Sprint(d) = %q, want %q", fmt.Sprint(d), want)
+	}
+}

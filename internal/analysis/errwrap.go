@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the repo's error idiom in internal packages: errors
+// constructed inside exported functions must identify their origin, either
+// with the "<pkg>: ..." message prefix every existing message uses or by
+// wrapping an underlying error with %w. A bare errors.New("bad input")
+// surfacing from a deep call site is undebuggable at the gqlshell prompt.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "exported internal functions must package-prefix error messages or wrap with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	if !strings.Contains(pass.Path, "internal/") {
+		return
+	}
+	prefix := pass.Pkg.Name() + ":"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !returnsError(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				msg, isLit := stringLit(call.Args[0])
+				if !isLit {
+					return true // dynamic message: trust the author
+				}
+				switch {
+				case x.Name == "errors" && sel.Sel.Name == "New":
+					if !strings.HasPrefix(msg, prefix) {
+						pass.Reportf(call.Pos(), "errors.New message %q in exported %s lacks the %q prefix; use fmt.Errorf(\"%s ...\") or wrap with %%w", msg, fd.Name.Name, prefix, prefix)
+					}
+				case x.Name == "fmt" && sel.Sel.Name == "Errorf":
+					if !strings.HasPrefix(msg, prefix) && !strings.Contains(msg, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf message %q in exported %s neither has the %q prefix nor wraps with %%w", msg, fd.Name.Name, prefix)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// returnsError reports whether any declared result of fd has type error.
+func returnsError(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok {
+			if named, ok := tv.Type.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stringLit unquotes a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unsafeInGoroutine lists methods that mutate receiver state without
+// synchronization; calling them from a goroutine that shares the receiver
+// is a data race. Keyed by "<internal path>.<type>".
+var unsafeInGoroutine = map[string]map[string]bool{
+	"internal/graph.Graph":    {"AddNode": true, "AddEdge": true, "RenameNode": true},
+	"internal/index.Interner": {"Intern": true},
+}
+
+// GoSafe inspects goroutine bodies (as in algebra.ParallelSelection) for
+// the two race shapes that matter in this codebase: calls to known
+// non-thread-safe mutators, and writes to captured variables that are not
+// index-partitioned. A write whose access path goes through an index
+// expression (results[i].ms = ...) is the sanctioned partitioning pattern:
+// each worker owns a disjoint slot. A write to a bare captured identifier
+// (out = append(out, ...)) is shared state and is flagged.
+var GoSafe = &Analyzer{
+	Name: "gosafe",
+	Doc:  "flag goroutine bodies that call non-thread-safe methods or write captured variables without index partitioning",
+	Run:  runGoSafe,
+}
+
+func runGoSafe(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// go g.AddNode(...) — direct unsafe call as the goroutine.
+			if typ, m := unsafeMethod(pass, gs.Call); m != "" {
+				pass.Reportf(gs.Pos(), "goroutine calls non-thread-safe %s.%s", typ, m)
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(pass, lit)
+			return true
+		})
+	}
+}
+
+func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if typ, m := unsafeMethod(pass, s); m != "" {
+				pass.Reportf(s.Pos(), "goroutine body calls non-thread-safe %s.%s; synchronize or move outside the goroutine", typ, m)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkSharedWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkSharedWrite(pass, lit, s.X)
+		}
+		return true
+	})
+}
+
+// checkSharedWrite flags an assignment target rooted at a variable captured
+// from outside the goroutine unless the access path is index-partitioned.
+func checkSharedWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	indexed := false
+	e := lhs
+walk:
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			indexed = true
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			break walk
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" || indexed {
+		return
+	}
+	obj := pass.Info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+		return // declared inside the goroutine: worker-local
+	}
+	pass.Reportf(lhs.Pos(), "goroutine writes captured variable %q without index partitioning; give each worker its own slot (x[i] = ...) or synchronize", id.Name)
+}
+
+// unsafeMethod reports whether the call is a method in unsafeInGoroutine,
+// returning the type key and method name.
+func unsafeMethod(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", ""
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	key := trimToInternal(named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+	if unsafeInGoroutine[key][sel.Sel.Name] {
+		return key, sel.Sel.Name
+	}
+	return "", ""
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// recboundPkgs are the packages whose recursion runs over user-supplied
+// graphs and grammars: unbounded depth there is a stack overflow (or an
+// unbounded query) triggered by data, not by code.
+var recboundPkgs = []string{
+	"internal/match",
+	"internal/motif",
+	"internal/reach",
+}
+
+// boundWords are identifier fragments accepted as evidence that a
+// recursive function threads a depth/budget or checks a cancellation or
+// visited-set bound. Matching is case-insensitive on substrings, so
+// maxDepth, RefineLevel-style limits, s.done and visited[] all qualify.
+var boundWords = []string{
+	"depth", "budget", "limit", "fuel", "remaining",
+	"cancel", "done", "visited", "stop", "ctx", "deadline", "step",
+}
+
+// RecBound requires every (directly or mutually) recursive function in
+// match/motif/reach to show a visible termination bound beyond structural
+// recursion: a depth/budget parameter, a cancellation flag, or a visited
+// set.
+var RecBound = &Analyzer{
+	Name: "recbound",
+	Doc:  "recursive functions in match/motif/reach must thread a depth/budget parameter or check a cancellation/limit",
+	Run:  runRecBound,
+}
+
+func runRecBound(pass *Pass) {
+	if !pathHasAnySuffix(pass.Path, recboundPkgs) {
+		return
+	}
+	// Collect package-level function declarations keyed by their object.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	// Call-graph edges between functions of this package.
+	calls := map[*types.Func][]*types.Func{}
+	for caller, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := pass.Info.Uses[id].(*types.Func); ok {
+				if _, local := decls[callee]; local {
+					calls[caller] = append(calls[caller], callee)
+				}
+			}
+			return true
+		})
+	}
+	for fn, fd := range decls {
+		if !reaches(calls, fn, fn, map[*types.Func]bool{}) {
+			continue
+		}
+		if hasBoundEvidence(fd) {
+			continue
+		}
+		pass.Reportf(fd.Pos(), "recursive function %s has no visible depth/budget/cancellation bound; thread a depth or budget parameter, or check a limit/cancellation flag", fn.Name())
+	}
+}
+
+// reaches reports whether target is reachable from fn over call edges.
+func reaches(calls map[*types.Func][]*types.Func, fn, target *types.Func, seen map[*types.Func]bool) bool {
+	for _, callee := range calls[fn] {
+		if callee == target {
+			return true
+		}
+		if seen[callee] {
+			continue
+		}
+		seen[callee] = true
+		if reaches(calls, callee, target, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBoundEvidence scans parameter names and every identifier mentioned in
+// the body for a bound word.
+func hasBoundEvidence(fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if isBoundWord(name.Name) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && isBoundWord(id.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isBoundWord reports whether the identifier contains a bound fragment.
+func isBoundWord(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range boundWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}

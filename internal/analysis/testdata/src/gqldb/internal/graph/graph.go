@@ -1,0 +1,53 @@
+// Package graph is a miniature stand-in for gqldb/internal/graph: just
+// enough surface (Value, Tuple, Graph and their methods) for the analyzer
+// corpus to type-check. The import path seen by the analyzers ends in
+// internal/graph, so the type-identity checks behave exactly as on the
+// real package.
+package graph
+
+// Value mimics the kind-tagged attribute value.
+type Value struct {
+	kind int
+	i    int64
+	f    float64
+	s    string
+}
+
+// Equal is the sanctioned equality.
+func (v Value) Equal(w Value) bool { return v.kind == w.kind && v.i == w.i && v.f == w.f && v.s == w.s }
+
+// Compare is the sanctioned ordering.
+func (v Value) Compare(w Value) (int, error) { return 0, nil }
+
+// Tuple mimics the attribute tuple.
+type Tuple struct {
+	names []string
+	vals  []Value
+}
+
+// Equal is the sanctioned tuple equality.
+func (t *Tuple) Equal(u *Tuple) bool { return t == u }
+
+// Graph mimics the attributed multigraph.
+type Graph struct{ n int }
+
+// AddNode panics on duplicate names — allowlisted constructor-time check.
+func (g *Graph) AddNode(name string) int {
+	if name == "" {
+		panic("graph: empty node name") // allowed: panicAllowlist entry
+	}
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge panics on out-of-range endpoints — allowlisted.
+func (g *Graph) AddEdge(from, to int) {
+	if from >= g.n || to >= g.n {
+		panic("graph: endpoint out of range") // allowed: panicAllowlist entry
+	}
+}
+
+// Freeze is NOT on the allowlist, so its panic must be flagged.
+func (g *Graph) Freeze() {
+	panic("graph: not implemented") // want:panicfree `panic in hot-path function Freeze`
+}

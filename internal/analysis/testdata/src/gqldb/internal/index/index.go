@@ -1,0 +1,26 @@
+// Package index is a miniature stand-in for gqldb/internal/index with the
+// one method the gosafe analyzer knows is not thread-safe.
+package index
+
+// Interner mimics the label interner.
+type Interner struct {
+	ids   map[string]int32
+	names []string
+}
+
+// Intern mutates the intern tables — not safe under concurrency.
+func (in *Interner) Intern(label string) int32 {
+	if id, ok := in.ids[label]; ok {
+		return id
+	}
+	id := int32(len(in.names))
+	if in.ids == nil {
+		in.ids = map[string]int32{}
+	}
+	in.ids[label] = id
+	in.names = append(in.names, label)
+	return id
+}
+
+// Name is a read-only accessor.
+func (in *Interner) Name(id int32) string { return in.names[id] }

@@ -1,0 +1,147 @@
+// Package match is analyzer corpus: hot-path cases for panicfree,
+// valuecmp, gosafe and recbound, with both flagged and allowed forms.
+package match
+
+import (
+	"fmt"
+	"reflect"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/index"
+)
+
+// ---- panicfree ----
+
+// Explode panics on a hot path: flagged.
+func Explode() {
+	panic("match: boom") // want:panicfree `panic in hot-path function Explode`
+}
+
+// SafeErr returns an error instead: allowed.
+func SafeErr() error {
+	return fmt.Errorf("match: nothing to do")
+}
+
+// ---- valuecmp ----
+
+// EqValues compares Values with ==: flagged.
+func EqValues(a, b graph.Value) bool {
+	return a == b // want:valuecmp `== on graph.Value`
+}
+
+// NeqValues compares Values with !=: flagged.
+func NeqValues(a, b graph.Value) bool {
+	return a != b // want:valuecmp `!= on graph.Value`
+}
+
+// DeepEqValues uses reflect.DeepEqual: flagged.
+func DeepEqValues(a, b []graph.Value) bool {
+	return reflect.DeepEqual(a, b) // want:valuecmp `reflect.DeepEqual on graph.Value`
+}
+
+// EqTuples compares Tuple pointers with ==: flagged.
+func EqTuples(a, b *graph.Tuple) bool {
+	return a == b // want:valuecmp `== on graph.Tuple`
+}
+
+// NilCheck against nil is a presence check: allowed.
+func NilCheck(t *graph.Tuple) bool {
+	return t == nil
+}
+
+// EqValuesOK goes through the sanctioned method: allowed.
+func EqValuesOK(a, b graph.Value) bool {
+	return a.Equal(b)
+}
+
+// ---- gosafe ----
+
+// RacyWorkers shows each racy shape; PartitionedWorkers below is the
+// sanctioned form.
+func RacyWorkers(g *graph.Graph, in *index.Interner, vals []int) []int {
+	var shared []int
+	ch := make(chan struct{})
+	go func() {
+		g.AddNode("x")             // want:gosafe `non-thread-safe internal/graph.Graph.AddNode`
+		in.Intern("a")             // want:gosafe `non-thread-safe internal/index.Interner.Intern`
+		shared = append(shared, 1) // want:gosafe `captured variable "shared"`
+		close(ch)
+	}()
+	<-ch
+	return shared
+}
+
+// PartitionedWorkers writes only worker-owned slots and locals: allowed.
+func PartitionedWorkers(vals []int) []int {
+	results := make([]int, len(vals))
+	ch := make(chan struct{})
+	go func() {
+		local := 0
+		for i := range vals {
+			local++
+			results[i] = vals[i] * 2
+		}
+		_ = local
+		close(ch)
+	}()
+	<-ch
+	return results
+}
+
+// SuppressedWrite shows the explicit escape hatch: allowed via comment.
+func SuppressedWrite() int {
+	total := 0
+	ch := make(chan struct{})
+	go func() {
+		total = 41 //gqlvet:ignore gosafe -- single goroutine, joined before read
+		close(ch)
+	}()
+	<-ch
+	return total + 1
+}
+
+// ---- recbound ----
+
+// Collatz recurses with no visible bound: flagged.
+func Collatz(n int) int { // want:recbound `recursive function Collatz`
+	if n <= 1 {
+		return 0
+	}
+	if n%2 == 0 {
+		return 1 + Collatz(n/2)
+	}
+	return 1 + Collatz(3*n+1)
+}
+
+// Even and Odd are mutually recursive with no bound: both flagged.
+func Even(n int) bool { // want:recbound `recursive function Even`
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+// Odd is the other half of the cycle.
+func Odd(n int) bool { // want:recbound `recursive function Odd`
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// WalkDepth threads a depth budget: allowed.
+func WalkDepth(n, depth int) int {
+	if depth <= 0 || n <= 1 {
+		return 0
+	}
+	return 1 + WalkDepth(n/2, depth-1)
+}
+
+// Iterative has no recursion at all: allowed.
+func Iterative(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Package store is analyzer corpus for errwrap: error construction in
+// exported functions of an internal package.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Open returns a bare errors.New: flagged.
+func Open(path string) error {
+	if path == "" {
+		return errors.New("no path given") // want:errwrap `lacks the`
+	}
+	return nil
+}
+
+// Load returns an unprefixed, non-wrapping fmt.Errorf: flagged.
+func Load(path string) error {
+	if path == "bad" {
+		return fmt.Errorf("cannot load %s", path) // want:errwrap `neither has the`
+	}
+	return nil
+}
+
+// LoadChecked prefixes and wraps correctly: allowed.
+func LoadChecked(path string) error {
+	if err := Load(path); err != nil {
+		return fmt.Errorf("store: loading %s: %w", path, err)
+	}
+	if path == "empty" {
+		return errors.New("store: empty path")
+	}
+	return nil
+}
+
+// helper is unexported; deep call sites are the exported functions'
+// responsibility to wrap: allowed.
+func helper() error {
+	return errors.New("transient")
+}
+
+// Flush returns an error built elsewhere (dynamic message): allowed.
+func Flush() error {
+	msg := "store: flush failed"
+	return errors.New(msg)
+}

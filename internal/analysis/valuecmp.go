@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ValueCmp forbids ==, != and reflect.DeepEqual on graph.Value and
+// graph.Tuple operands. Value carries every payload field (int, float,
+// string) regardless of kind, so == is kind-blind and wrong for the
+// cross-kind numeric equality the data model defines (Int(1) must equal
+// Float(1)); Tuple comparison must be order-insensitive over attributes.
+// Both types provide Equal/Compare for this. The defining package
+// (internal/graph) is exempt: it implements those methods.
+var ValueCmp = &Analyzer{
+	Name: "valuecmp",
+	Doc:  "forbid ==/!=/reflect.DeepEqual on graph.Value and graph.Tuple; use their Compare/Equal methods",
+	Run:  runValueCmp,
+}
+
+// cmpSensitiveTypes are the internal/graph types whose identity semantics
+// live in methods, not in Go's shallow equality.
+var cmpSensitiveTypes = []string{"Value", "Tuple"}
+
+func runValueCmp(pass *Pass) {
+	if pathHasSuffix(pass.Path, "internal/graph") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if isNilIdent(e.X) || isNilIdent(e.Y) {
+					return true // p == nil on *Tuple is a presence check, not a comparison
+				}
+				if name := cmpSensitiveOperand(pass, e.X, e.Y); name != "" {
+					pass.Reportf(e.OpPos, "%s on graph.%s; use Equal (or Compare) — Go equality is kind-blind for these types", e.Op, name)
+				}
+			case *ast.CallExpr:
+				sel, ok := e.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "DeepEqual" || len(e.Args) != 2 {
+					return true
+				}
+				if x, ok := sel.X.(*ast.Ident); !ok || x.Name != "reflect" {
+					return true
+				}
+				if name := cmpSensitiveOperand(pass, e.Args[0], e.Args[1]); name != "" {
+					pass.Reportf(e.Pos(), "reflect.DeepEqual on graph.%s; use Equal (or Compare)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// cmpSensitiveOperand returns the graph type name ("Value" or "Tuple") if
+// either operand has one of the comparison-sensitive types, or "".
+func cmpSensitiveOperand(pass *Pass, x, y ast.Expr) string {
+	for _, e := range []ast.Expr{x, y} {
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			continue
+		}
+		for _, name := range cmpSensitiveTypes {
+			if namedFromGraph(tv.Type, name) {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// isNilIdent reports whether the expression is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -113,8 +113,13 @@ func (lx *Lexer) Next() (Token, error) {
 	}
 	start := Token{Line: lx.line, Col: lx.col}
 	c := lx.src[lx.pos]
+	// Classify on the decoded rune, not the raw byte: a byte like 0xd4
+	// converts to a letter rune ('Ô') even when it is an invalid UTF-8
+	// fragment, which used to send the scanner into ident() where it
+	// consumed nothing and looped forever (found by FuzzParse).
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
 	switch {
-	case isIdentStart(rune(c)):
+	case isIdentStart(r) && r != utf8.RuneError:
 		return lx.ident(start), nil
 	case c >= '0' && c <= '9':
 		return lx.number(start)

@@ -131,3 +131,14 @@ func TestTokenString(t *testing.T) {
 		t.Errorf("EOF String = %s", toks[1].String())
 	}
 }
+
+// TestTokenizeInvalidUTF8 is the FuzzParse regression: a byte that is not
+// valid UTF-8 but whose byte-to-rune conversion is a letter (0xd4 → 'Ô')
+// must produce an error, not an infinite loop of empty tokens.
+func TestTokenizeInvalidUTF8(t *testing.T) {
+	for _, src := range []string{"A\xd4p>\x93\x9a\xb9#\x8a", "\xd4", "x\xff y", "\xc3"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error on invalid UTF-8", src)
+		}
+	}
+}

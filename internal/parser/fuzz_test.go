@@ -1,0 +1,45 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the parser's total-function contract: any input, valid
+// or garbage, either parses or returns an error — it never panics. Seeds
+// come from the real query corpus in examples/queries. CI runs this
+// briefly (`make fuzz-smoke`, -fuzztime=10s); leave it running longer
+// locally when touching lexer or parser.
+func FuzzParse(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("..", "..", "examples", "queries", "*.gql"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Log("no .gql seeds found; fuzzing from inline seeds only")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("graph P { node v1 <author>; node v2; edge e1: v1-v2; } where v1.name != v2.name;")
+	f.Add(`C := graph P { node v; } exhaustive in doc("D")`)
+	f.Add("{ node a; } | { node b; }")
+	f.Add("export P.v as out")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Error("Parse returned nil program and nil error")
+		}
+		// The standalone expression entry point shares the token stream
+		// machinery; it must be panic-free on the same inputs.
+		_, _ = ParseExpr(src)
+	})
+}

@@ -36,21 +36,23 @@ func key(vals []graph.Value) string {
 	return b.String()
 }
 
-// Insert adds a tuple (set semantics); reports whether it was new.
-func (r *Relation) Insert(vals ...graph.Value) bool {
+// Insert adds a tuple (set semantics); it reports whether the tuple was
+// new. Inserting a tuple of the wrong arity for the schema is an error (it
+// used to panic, which took down whole query evaluations).
+func (r *Relation) Insert(vals ...graph.Value) (bool, error) {
 	if len(vals) != len(r.Schema) {
-		panic(fmt.Sprintf("ra: arity mismatch inserting into %s: %d vs %d", r.Name, len(vals), len(r.Schema)))
+		return false, fmt.Errorf("ra: arity mismatch inserting into %s: %d values for %d attributes", r.Name, len(vals), len(r.Schema))
 	}
 	k := key(vals)
 	if r.seen[k] {
-		return false
+		return false, nil
 	}
 	if r.seen == nil {
 		r.seen = map[string]bool{}
 	}
 	r.seen[k] = true
 	r.tuples = append(r.tuples, vals)
-	return true
+	return true, nil
 }
 
 // Len returns the tuple count.
@@ -96,7 +98,9 @@ func Select(r *Relation, pred expr.Expr) (*Relation, error) {
 			return nil, err
 		}
 		if ok {
-			out.Insert(t...)
+			if _, err := out.Insert(t...); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
@@ -118,7 +122,9 @@ func Project(r *Relation, attrs ...string) (*Relation, error) {
 		for i, c := range idx {
 			row[i] = t[c]
 		}
-		out.Insert(row...)
+		if _, err := out.Insert(row...); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -135,7 +141,9 @@ func Product(a, b *Relation) (*Relation, error) {
 	out := NewRelation(a.Name+"×"+b.Name, append(append([]string{}, a.Schema...), b.Schema...)...)
 	for _, ta := range a.tuples {
 		for _, tb := range b.tuples {
-			out.Insert(append(append([]graph.Value{}, ta...), tb...)...)
+			if _, err := out.Insert(append(append([]graph.Value{}, ta...), tb...)...); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
@@ -161,10 +169,14 @@ func Union(a, b *Relation) (*Relation, error) {
 	}
 	out := NewRelation(a.Name+"∪"+b.Name, a.Schema...)
 	for _, t := range a.tuples {
-		out.Insert(t...)
+		if _, err := out.Insert(t...); err != nil {
+			return nil, err
+		}
 	}
 	for _, t := range b.tuples {
-		out.Insert(t...)
+		if _, err := out.Insert(t...); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -177,7 +189,9 @@ func Difference(a, b *Relation) (*Relation, error) {
 	out := NewRelation(a.Name+"−"+b.Name, a.Schema...)
 	for _, t := range a.tuples {
 		if !b.seen[key(t)] {
-			out.Insert(t...)
+			if _, err := out.Insert(t...); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
@@ -196,7 +210,9 @@ func Rename(r *Relation, oldName, newName string) (*Relation, error) {
 	}
 	out := NewRelation("ρ("+r.Name+")", schema...)
 	for _, t := range r.tuples {
-		out.Insert(t...)
+		if _, err := out.Insert(t...); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -231,7 +247,9 @@ func Join(a, b *Relation, ax, bx string) (*Relation, error) {
 					row = append(row, v)
 				}
 			}
-			out.Insert(row...)
+			if _, err := out.Insert(row...); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
@@ -289,7 +307,9 @@ func FromCollection(c graph.Collection, name string, schema []string) (*Relation
 		for i, s := range schema {
 			row[i] = attrs.GetOr(s)
 		}
-		out.Insert(row...)
+		if _, err := out.Insert(row...); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -24,11 +24,29 @@ func sampleEmp() *Relation {
 
 func TestInsertSetSemantics(t *testing.T) {
 	r := NewRelation("r", "x")
-	if !r.Insert(graph.Int(1)) || r.Insert(graph.Int(1)) {
+	first, err := r.Insert(graph.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Insert(graph.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first || second {
 		t.Error("set semantics violated")
 	}
 	if r.Len() != 1 {
 		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	r := NewRelation("r", "x", "y")
+	if _, err := r.Insert(graph.Int(1)); err == nil {
+		t.Error("arity mismatch should error, not panic")
+	}
+	if r.Len() != 0 {
+		t.Errorf("failed insert must not add tuples; Len = %d", r.Len())
 	}
 }
 

@@ -10,14 +10,31 @@ import (
 	"gqldb/internal/pattern"
 )
 
+func mustInsert(t *testing.T, tb *Table, vals ...graph.Value) {
+	t.Helper()
+	if err := tb.Insert(vals...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	v := NewTable("V", "vid", "label")
+	if err := v.Insert(graph.Int(0)); err == nil {
+		t.Error("arity mismatch should error, not panic")
+	}
+	if len(v.Rows) != 0 {
+		t.Errorf("failed insert must not add rows; got %d", len(v.Rows))
+	}
+}
+
 func TestTableInsertProbe(t *testing.T) {
 	v := NewTable("V", "vid", "label")
 	if err := v.CreateIndex("label"); err != nil {
 		t.Fatal(err)
 	}
-	v.Insert(graph.Int(0), graph.String("A"))
-	v.Insert(graph.Int(1), graph.String("B"))
-	v.Insert(graph.Int(2), graph.String("A"))
+	mustInsert(t, v, graph.Int(0), graph.String("A"))
+	mustInsert(t, v, graph.Int(1), graph.String("B"))
+	mustInsert(t, v, graph.Int(2), graph.String("A"))
 	c, _ := v.Col("label")
 	rows, ok := v.probe(c, graph.String("A"))
 	if !ok || len(rows) != 2 {
@@ -195,7 +212,7 @@ func TestExecLimit(t *testing.T) {
 	v := NewTable("V", "vid", "label")
 	db.Create(v)
 	for i := 0; i < 100; i++ {
-		v.Insert(graph.Int(int64(i)), graph.String("X"))
+		mustInsert(t, v, graph.Int(int64(i)), graph.String("X"))
 	}
 	st, err := ParseSQL(`SELECT V1.vid FROM V AS V1 WHERE V1.label = 'X';`)
 	if err != nil {

@@ -113,16 +113,19 @@ func (t *Table) estProbe(col int) (float64, bool) {
 	return float64(len(t.Rows)) / float64(ix.keys), true
 }
 
-// Insert appends a row, maintaining indexes.
-func (t *Table) Insert(vals ...graph.Value) {
+// Insert appends a row, maintaining indexes. Inserting the wrong number of
+// values for the table's columns is an error (it used to panic, which took
+// down whole query evaluations over malformed loads).
+func (t *Table) Insert(vals ...graph.Value) error {
 	if len(vals) != len(t.Cols) {
-		panic(fmt.Sprintf("sqlbase: arity mismatch inserting into %s", t.Name))
+		return fmt.Errorf("sqlbase: arity mismatch inserting into %s: %d values for %d columns", t.Name, len(vals), len(t.Cols))
 	}
 	rid := int32(len(t.Rows))
 	t.Rows = append(t.Rows, vals)
 	for c, ix := range t.indexes {
 		ix.add(vals[c], rid)
 	}
+	return nil
 }
 
 // PlannerMode selects the join-order search strategy.
@@ -185,12 +188,18 @@ func (db *DB) LoadGraph(g *graph.Graph) error {
 		}
 	}
 	for _, n := range g.Nodes() {
-		v.Insert(graph.Int(int64(n.ID)), graph.String(g.Label(n.ID)))
+		if err := v.Insert(graph.Int(int64(n.ID)), graph.String(g.Label(n.ID))); err != nil {
+			return err
+		}
 	}
 	for _, ed := range g.Edges() {
-		e.Insert(graph.Int(int64(ed.From)), graph.Int(int64(ed.To)))
+		if err := e.Insert(graph.Int(int64(ed.From)), graph.Int(int64(ed.To))); err != nil {
+			return err
+		}
 		if !g.Directed && ed.From != ed.To {
-			e.Insert(graph.Int(int64(ed.To)), graph.Int(int64(ed.From)))
+			if err := e.Insert(graph.Int(int64(ed.To)), graph.Int(int64(ed.From))); err != nil {
+				return err
+			}
 		}
 	}
 	db.Create(v)
