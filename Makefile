@@ -26,10 +26,13 @@ vet:
 gqlvet:
 	$(GO) run ./cmd/gqlvet ./...
 
-## fuzz-smoke: brief parser fuzz (panics are failures); run longer
-## locally when touching internal/lexer or internal/parser
+## fuzz-smoke: brief fuzz of the parser and the binary/TSV graph
+## readers (panics are failures); run longer locally when touching
+## internal/lexer, internal/parser or the internal/graph load paths
 fuzz-smoke:
 	$(GO) test ./internal/parser -run FuzzParse -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/graph -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime 5s
+	$(GO) test ./internal/graph -run FuzzReadTSV -fuzz FuzzReadTSV -fuzztime 5s
 
 ## check: everything CI runs
 check: build vet gqlvet test race fuzz-smoke

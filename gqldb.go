@@ -26,6 +26,7 @@
 package gqldb
 
 import (
+	"context"
 	"fmt"
 
 	"gqldb/internal/algebra"
@@ -94,6 +95,16 @@ type (
 	Store = exec.Store
 	// QueryResult is the outcome of running a FLWR program.
 	QueryResult = exec.Result
+	// Engine evaluates parsed programs against a store; set Workers for
+	// parallel for-clause evaluation and use RunContext for cancellation.
+	Engine = exec.Engine
+	// OpStat is one bulk-operator execution record (operator name, item
+	// count, worker count, wall time) collected in MatchStats.Ops.
+	OpStat = match.OpStat
+	// GraphBuilder is the batch graph loader: mutators accumulate every
+	// construction error with its operation position, and Build returns the
+	// graph or the joined errors — the API for ingesting untrusted input.
+	GraphBuilder = graph.Builder
 )
 
 // Graph constructors.
@@ -111,6 +122,8 @@ var (
 	Float  = graph.Float
 	String = graph.String
 	Bool   = graph.Bool
+	// NewGraphBuilder returns an error-accumulating batch loader.
+	NewGraphBuilder = graph.NewBuilder
 )
 
 // Pattern constructors.
@@ -161,9 +174,21 @@ func Match(p *Pattern, g *Graph, ix *Index, opt Options) ([]Mapping, *MatchStats
 	return match.Find(p, g, ix, opt)
 }
 
+// MatchContext is Match with cancellation and deadline support: the context
+// is polled on every backtracking step of the search, so cancelling returns
+// ctx.Err() within one step.
+func MatchContext(ctx context.Context, p *Pattern, g *Graph, ix *Index, opt Options) ([]Mapping, *MatchStats, error) {
+	return match.FindContext(ctx, p, g, ix, opt)
+}
+
 // MatchOne reports whether p has at least one mapping in g.
 func MatchOne(p *Pattern, g *Graph, ix *Index, opt Options) (bool, error) {
 	return match.Exists(p, g, ix, opt)
+}
+
+// MatchOneContext is MatchOne with cancellation and deadline support.
+func MatchOneContext(ctx context.Context, p *Pattern, g *Graph, ix *Index, opt Options) (bool, error) {
+	return match.ExistsContext(ctx, p, g, ix, opt)
 }
 
 // Select evaluates σ_P(C): all bindings of p across the collection.
@@ -177,6 +202,51 @@ func Select(p *Pattern, c Collection, opt Options) ([]*MatchedGraph, error) {
 func SelectParallel(p *Pattern, c Collection, opt Options, workers int) ([]*MatchedGraph, error) {
 	return algebra.ParallelSelection(p, c, opt, nil, workers)
 }
+
+// SelectContext evaluates σ_P(C) under a context on a bounded worker pool
+// (workers<=0 means GOMAXPROCS, 1 is serial). Output is identical to Select
+// in the same order; stats (optional, may be nil) receives a per-operator
+// timing/fan-out record.
+func SelectContext(ctx context.Context, p *Pattern, c Collection, opt Options, workers int, stats *MatchStats) ([]*MatchedGraph, error) {
+	return algebra.SelectionContext(ctx, p, c, opt, nil, workers, stats)
+}
+
+// Product computes the Cartesian product C × D (§3.3) on a bounded worker
+// pool with cancellation; output order matches the serial nested-loop order.
+func Product(ctx context.Context, c, d Collection, workers int, stats *MatchStats) (Collection, error) {
+	return algebra.CartesianProductContext(ctx, c, d, workers, stats)
+}
+
+// Join computes the valued join C ⋈_pred D = σ_pred(C × D) (§3.3) on a
+// bounded worker pool with cancellation; a nil predicate degenerates to the
+// product.
+func Join(ctx context.Context, c, d Collection, pred Expr, workers int, stats *MatchStats) (Collection, error) {
+	return algebra.ValuedJoinContext(ctx, c, d, pred, workers, stats)
+}
+
+// ComposeMatches instantiates template t (parameter name param) for every
+// matched graph (§3.3's composition ω_T) on a bounded worker pool with
+// cancellation, preserving collection order.
+func ComposeMatches(ctx context.Context, t *Template, param string, ms []*MatchedGraph, workers int, stats *MatchStats) (Collection, error) {
+	return algebra.ComposeContext(ctx, t, param, ms, workers, stats)
+}
+
+// StructuralJoin instantiates the two-parameter template for every pair of
+// matched graphs on a bounded worker pool with cancellation, in serial pair
+// order.
+func StructuralJoin(ctx context.Context, t *Template, p1, p2 string, c, d []*MatchedGraph, workers int, stats *MatchStats) (Collection, error) {
+	return algebra.StructuralJoinContext(ctx, t, p1, p2, c, d, workers, stats)
+}
+
+// Set operators over collections (set semantics up to graph signature).
+var (
+	// Union computes C ∪ D.
+	Union = algebra.Union
+	// Difference computes C − D.
+	Difference = algebra.Difference
+	// Intersection computes C ∩ D.
+	Intersection = algebra.Intersection
+)
 
 // Binary collection serialization (the compact on-disk format).
 var (
@@ -223,6 +293,24 @@ func Run(src string, store Store) (*QueryResult, error) {
 	}
 	return exec.New(store).Run(prog)
 }
+
+// RunContext parses and executes a GraphQL program under a context on a
+// bounded worker pool: workers configures the engine's for-clause fan-out
+// (0 or 1 serial, negative GOMAXPROCS) and cancellation is honored down to
+// individual backtracking steps of each selection.
+func RunContext(ctx context.Context, src string, store Store, workers int) (*QueryResult, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e := exec.New(store)
+	e.Workers = workers
+	return e.RunContext(ctx, prog)
+}
+
+// NewEngine returns a query engine over the store with default options; set
+// Workers, Opts, IxFor or CollIndex before calling Run/RunContext.
+func NewEngine(store Store) *Engine { return exec.New(store) }
 
 // ParseGraph parses a single graph literal in the language syntax
 // (`graph G { node v1 <label="A">; ... };`).

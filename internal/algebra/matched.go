@@ -6,6 +6,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 
 	"gqldb/internal/graph"
@@ -97,19 +98,5 @@ func (ms Matched) Graphs() graph.Collection {
 // "exhaustive" option controls one-vs-all bindings per graph. ixFor may be
 // nil or return nil; when present it supplies per-graph access structures.
 func Selection(p *pattern.Pattern, c graph.Collection, opt match.Options, ixFor func(*graph.Graph) *match.Index) (Matched, error) {
-	var out Matched
-	for _, g := range c {
-		var ix *match.Index
-		if ixFor != nil {
-			ix = ixFor(g)
-		}
-		maps, _, err := match.Find(p, g, ix, opt)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range maps {
-			out = append(out, &MatchedGraph{P: p, G: g, M: m})
-		}
-	}
-	return out, nil
+	return SelectionContext(context.Background(), p, c, opt, ixFor, 1, nil)
 }

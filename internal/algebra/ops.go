@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 
 	"gqldb/internal/expr"
@@ -11,23 +12,9 @@ import (
 
 // CartesianProduct computes C × D: each output graph is
 // graph { graph G1, G2; } — the two constituent graphs, unconnected (§3.3).
+// It is the serial form of CartesianProductContext.
 func CartesianProduct(c, d graph.Collection) (graph.Collection, error) {
-	t := &Template{Name: "", Members: []TMember{TGraph{Var: "G1"}, TGraph{Var: "G2"}}}
-	out := make(graph.Collection, 0, len(c)*len(d))
-	for _, g1 := range c {
-		for _, g2 := range d {
-			g, err := t.Instantiate(map[string]Operand{
-				"G1": GraphOperand(g1),
-				"G2": GraphOperand(g2),
-			})
-			if err != nil {
-				return nil, err
-			}
-			g.Attrs = mergeAttrs(g1.Attrs, g2.Attrs)
-			out = append(out, g)
-		}
-	}
-	return out, nil
+	return CartesianProductContext(context.Background(), c, d, 1, nil)
 }
 
 // mergeAttrs combines two graph tuples; the left side wins on conflicts.
@@ -51,24 +38,7 @@ func mergeAttrs(a, b *graph.Tuple) *graph.Tuple {
 // product graph (node attributes via embedded node names, graph attributes
 // bare).
 func ValuedJoin(c, d graph.Collection, pred expr.Expr) (graph.Collection, error) {
-	prod, err := CartesianProduct(c, d)
-	if err != nil {
-		return nil, err
-	}
-	if pred == nil {
-		return prod, nil
-	}
-	var out graph.Collection
-	for _, g := range prod {
-		ok, err := expr.Holds(pred, graphEnv{g})
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, g)
-		}
-	}
-	return out, nil
+	return ValuedJoinContext(context.Background(), c, d, pred, 1, nil)
 }
 
 // graphEnv resolves names against one plain graph: v.attr for a node (or
@@ -95,35 +65,14 @@ func (e graphEnv) Resolve(parts []string) (graph.Value, error) {
 // single-parameter template for every matched graph in the collection
 // (§3.3). Param is the template's formal parameter name.
 func Compose(t *Template, param string, c Matched) (graph.Collection, error) {
-	out := make(graph.Collection, 0, len(c))
-	for _, m := range c {
-		g, err := t.Instantiate(map[string]Operand{param: MatchedOperand(m)})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, g)
-	}
-	return out, nil
+	return ComposeContext(context.Background(), t, param, c, 1, nil)
 }
 
 // StructuralJoin joins two collections by instantiating a two-parameter
 // template for every pair — Cartesian product followed by composition,
 // generating new structure (concatenation by edges or unification).
 func StructuralJoin(t *Template, p1, p2 string, c, d Matched) (graph.Collection, error) {
-	var out graph.Collection
-	for _, m1 := range c {
-		for _, m2 := range d {
-			g, err := t.Instantiate(map[string]Operand{
-				p1: MatchedOperand(m1),
-				p2: MatchedOperand(m2),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, g)
-		}
-	}
-	return out, nil
+	return StructuralJoinContext(context.Background(), t, p1, p2, c, d, 1, nil)
 }
 
 // Union computes C ∪ D with set semantics up to graph signature.

@@ -1,85 +1,189 @@
 package algebra
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"context"
+	"time"
 
+	"gqldb/internal/expr"
 	"gqldb/internal/graph"
 	"gqldb/internal/match"
 	"gqldb/internal/pattern"
+	"gqldb/internal/pool"
 )
 
-// ParallelSelection evaluates σ_P(C) like Selection but matches collection
-// members on workers goroutines (0 = GOMAXPROCS). Output order is the same
-// as Selection's: matched graphs grouped by collection order, bindings in
-// discovery order — parallelism never changes the result. Useful for the
-// "large collection of small graphs" regime (§4), where per-graph matching
-// is cheap but the collection is big.
-func ParallelSelection(p *pattern.Pattern, c graph.Collection, opt match.Options, ixFor func(*graph.Graph) *match.Index, workers int) (Matched, error) {
+// The context-aware bulk operators below are the parallel (and cancellable)
+// forms of the §3.3 algebra. They all share the same contract:
+//
+//   - workers <= 0 means GOMAXPROCS, workers == 1 is the serial path; either
+//     way the context is polled at least once per work item, and selection
+//     additionally polls inside every backtracking step via match.FindContext.
+//   - Output order is byte-identical to the serial operator: work is
+//     index-addressed into pre-sized slots (pool.Run), then concatenated in
+//     input order. Parallelism never changes a result.
+//   - On error the operator returns the same error the serial evaluation
+//     would have hit first (the pool's lowest-index error guarantee).
+//   - stats may be nil; when set, one match.OpStat with the operator name,
+//     item count, resolved worker count and wall time is appended — the §5
+//     harness plots parallel speedup from these records.
+
+// SelectionContext evaluates σ_P(C) like Selection with cancellation and a
+// bounded worker pool: collection members are matched concurrently, matched
+// graphs stay grouped by collection order with bindings in discovery order.
+func SelectionContext(ctx context.Context, p *pattern.Pattern, c graph.Collection, opt match.Options, ixFor func(*graph.Graph) *match.Index, workers int, stats *match.Stats) (Matched, error) {
 	if err := p.Compile(); err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(c) {
-		workers = len(c)
-	}
-	if workers <= 1 {
-		return Selection(p, c, opt, ixFor)
-	}
-
-	type result struct {
-		ms  Matched
-		err error
-	}
-	results := make([]result, len(c))
-	var wg sync.WaitGroup
-	// Chunked work stealing: per-graph matching is often microseconds, so
-	// workers claim batches of indices with one atomic op instead of a
-	// channel receive per graph.
-	const chunk = 16
-	var cursor atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(cursor.Add(chunk)) - chunk
-				if start >= len(c) {
-					return
-				}
-				end := start + chunk
-				if end > len(c) {
-					end = len(c)
-				}
-				for i := start; i < end; i++ {
-					g := c[i]
-					var ix *match.Index
-					if ixFor != nil {
-						ix = ixFor(g)
-					}
-					maps, _, err := match.Find(p, g, ix, opt)
-					if err != nil {
-						results[i].err = err
-						continue
-					}
-					for _, m := range maps {
-						results[i].ms = append(results[i].ms, &MatchedGraph{P: p, G: g, M: m})
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	var out Matched
-	for i := range results {
-		if results[i].err != nil {
-			return nil, results[i].err
+	workers = pool.Workers(workers, len(c))
+	slots := make([]Matched, len(c))
+	start := time.Now()
+	err := pool.Run(ctx, len(c), workers, func(i int) error {
+		g := c[i]
+		var ix *match.Index
+		if ixFor != nil {
+			ix = ixFor(g)
 		}
-		out = append(out, results[i].ms...)
+		maps, _, err := match.FindContext(ctx, p, g, ix, opt)
+		if err != nil {
+			return err
+		}
+		for _, m := range maps {
+			slots[i] = append(slots[i], &MatchedGraph{P: p, G: g, M: m})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	stats.RecordOp("selection", len(c), workers, time.Since(start))
+	var out Matched
+	for _, ms := range slots {
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// ParallelSelection is SelectionContext without cancellation or stats; kept
+// as the original entry point of the parallel selection path.
+func ParallelSelection(p *pattern.Pattern, c graph.Collection, opt match.Options, ixFor func(*graph.Graph) *match.Index, workers int) (Matched, error) {
+	return SelectionContext(context.Background(), p, c, opt, ixFor, workers, nil)
+}
+
+// CartesianProductContext computes C × D like CartesianProduct on a worker
+// pool: pair (i, j) is instantiated into slot i*|D|+j, so the output order
+// is exactly the serial nested-loop order.
+func CartesianProductContext(ctx context.Context, c, d graph.Collection, workers int, stats *match.Stats) (graph.Collection, error) {
+	t := &Template{Name: "", Members: []TMember{TGraph{Var: "G1"}, TGraph{Var: "G2"}}}
+	n := len(c) * len(d)
+	workers = pool.Workers(workers, n)
+	out := make(graph.Collection, n)
+	start := time.Now()
+	err := pool.Run(ctx, n, workers, func(i int) error {
+		g1, g2 := c[i/len(d)], d[i%len(d)]
+		g, err := t.Instantiate(map[string]Operand{
+			"G1": GraphOperand(g1),
+			"G2": GraphOperand(g2),
+		})
+		if err != nil {
+			return err
+		}
+		g.Attrs = mergeAttrs(g1.Attrs, g2.Attrs)
+		out[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.RecordOp("product", n, workers, time.Since(start))
+	return out, nil
+}
+
+// ValuedJoinContext computes C ⋈_P D = σ_P(C × D) on a worker pool: each
+// pair is built and filtered in one parallel step (slot left nil when the
+// predicate rejects), then compacted in pair order — the same sequence the
+// serial ValuedJoin emits.
+func ValuedJoinContext(ctx context.Context, c, d graph.Collection, pred expr.Expr, workers int, stats *match.Stats) (graph.Collection, error) {
+	if pred == nil {
+		return CartesianProductContext(ctx, c, d, workers, stats)
+	}
+	t := &Template{Name: "", Members: []TMember{TGraph{Var: "G1"}, TGraph{Var: "G2"}}}
+	n := len(c) * len(d)
+	workers = pool.Workers(workers, n)
+	slots := make(graph.Collection, n)
+	start := time.Now()
+	err := pool.Run(ctx, n, workers, func(i int) error {
+		g1, g2 := c[i/len(d)], d[i%len(d)]
+		g, err := t.Instantiate(map[string]Operand{
+			"G1": GraphOperand(g1),
+			"G2": GraphOperand(g2),
+		})
+		if err != nil {
+			return err
+		}
+		g.Attrs = mergeAttrs(g1.Attrs, g2.Attrs)
+		ok, err := expr.Holds(pred, graphEnv{g})
+		if err != nil {
+			return err
+		}
+		if ok {
+			slots[i] = g
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.RecordOp("valued-join", n, workers, time.Since(start))
+	var out graph.Collection
+	for _, g := range slots {
+		if g != nil {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// ComposeContext computes ω_T(C) like Compose on a worker pool; slot i holds
+// the instantiation for matched graph i, preserving collection order.
+func ComposeContext(ctx context.Context, t *Template, param string, c Matched, workers int, stats *match.Stats) (graph.Collection, error) {
+	workers = pool.Workers(workers, len(c))
+	out := make(graph.Collection, len(c))
+	start := time.Now()
+	err := pool.Run(ctx, len(c), workers, func(i int) error {
+		g, err := t.Instantiate(map[string]Operand{param: MatchedOperand(c[i])})
+		if err != nil {
+			return err
+		}
+		out[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.RecordOp("compose", len(c), workers, time.Since(start))
+	return out, nil
+}
+
+// StructuralJoinContext joins like StructuralJoin on a worker pool: pair
+// (i, j) instantiates into slot i*|D|+j, matching the serial pair order.
+func StructuralJoinContext(ctx context.Context, t *Template, p1, p2 string, c, d Matched, workers int, stats *match.Stats) (graph.Collection, error) {
+	n := len(c) * len(d)
+	workers = pool.Workers(workers, n)
+	out := make(graph.Collection, n)
+	start := time.Now()
+	err := pool.Run(ctx, n, workers, func(i int) error {
+		g, err := t.Instantiate(map[string]Operand{
+			p1: MatchedOperand(c[i/len(d)]),
+			p2: MatchedOperand(d[i%len(d)]),
+		})
+		if err != nil {
+			return err
+		}
+		out[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.RecordOp("structural-join", n, workers, time.Since(start))
 	return out, nil
 }

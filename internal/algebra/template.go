@@ -131,7 +131,11 @@ func (t *Template) Instantiate(args map[string]Operand) (*graph.Graph, error) {
 			return nil, err
 		}
 	}
-	return ins.compact(), nil
+	out := ins.compact()
+	if err := out.Err(); err != nil {
+		return nil, fmt.Errorf("algebra: template %s: %w", t.Name, err)
+	}
+	return out, nil
 }
 
 // rep follows unification links to the representative node.

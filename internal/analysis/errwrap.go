@@ -8,13 +8,15 @@ import (
 )
 
 // ErrWrap enforces the repo's error idiom in internal packages: errors
-// constructed inside exported functions must identify their origin, either
-// with the "<pkg>: ..." message prefix every existing message uses or by
-// wrapping an underlying error with %w. A bare errors.New("bad input")
-// surfacing from a deep call site is undebuggable at the gqlshell prompt.
+// constructed inside any function — exported or not — must identify their
+// origin, either with the "<pkg>: ..." message prefix every existing message
+// uses or by wrapping an underlying error with %w. A bare
+// errors.New("bad input") surfacing from a deep call site is undebuggable at
+// the gqlshell prompt; unexported helpers are where those deep sites live,
+// so they get no exemption.
 var ErrWrap = &Analyzer{
 	Name: "errwrap",
-	Doc:  "exported internal functions must package-prefix error messages or wrap with %w",
+	Doc:  "internal functions must package-prefix error messages or wrap with %w",
 	Run:  runErrWrap,
 }
 
@@ -26,7 +28,7 @@ func runErrWrap(pass *Pass) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !fd.Name.IsExported() || !returnsError(pass, fd) {
+			if !ok || fd.Body == nil || !returnsError(pass, fd) {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -49,11 +51,11 @@ func runErrWrap(pass *Pass) {
 				switch {
 				case x.Name == "errors" && sel.Sel.Name == "New":
 					if !strings.HasPrefix(msg, prefix) {
-						pass.Reportf(call.Pos(), "errors.New message %q in exported %s lacks the %q prefix; use fmt.Errorf(\"%s ...\") or wrap with %%w", msg, fd.Name.Name, prefix, prefix)
+						pass.Reportf(call.Pos(), "errors.New message %q in %s lacks the %q prefix; use fmt.Errorf(\"%s ...\") or wrap with %%w", msg, fd.Name.Name, prefix, prefix)
 					}
 				case x.Name == "fmt" && sel.Sel.Name == "Errorf":
 					if !strings.HasPrefix(msg, prefix) && !strings.Contains(msg, "%w") {
-						pass.Reportf(call.Pos(), "fmt.Errorf message %q in exported %s neither has the %q prefix nor wraps with %%w", msg, fd.Name.Name, prefix)
+						pass.Reportf(call.Pos(), "fmt.Errorf message %q in %s neither has the %q prefix nor wraps with %%w", msg, fd.Name.Name, prefix)
 					}
 				}
 				return true

@@ -10,7 +10,11 @@ import (
 // is a data race. Keyed by "<internal path>.<type>".
 var unsafeInGoroutine = map[string]map[string]bool{
 	"internal/graph.Graph":    {"AddNode": true, "AddEdge": true, "RenameNode": true},
+	"internal/graph.Builder":  {"AddNode": true, "AddEdge": true, "RenameNode": true, "SetTuple": true},
 	"internal/index.Interner": {"Intern": true},
+	// Stats.RecordOp appends to the Ops slice; the parallel operators call
+	// it from the coordinating goroutine only, never from pool workers.
+	"internal/match.Stats": {"RecordOp": true},
 }
 
 // GoSafe inspects goroutine bodies (as in algebra.ParallelSelection) for

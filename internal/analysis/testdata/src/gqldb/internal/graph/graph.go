@@ -5,6 +5,14 @@
 // real package.
 package graph
 
+import "errors"
+
+// Construction errors recorded by the non-panicking constructors.
+var (
+	errEmptyName = errors.New("graph: empty node name")
+	errRange     = errors.New("graph: endpoint out of range")
+)
+
 // Value mimics the kind-tagged attribute value.
 type Value struct {
 	kind int
@@ -29,25 +37,58 @@ type Tuple struct {
 func (t *Tuple) Equal(u *Tuple) bool { return t == u }
 
 // Graph mimics the attributed multigraph.
-type Graph struct{ n int }
+type Graph struct {
+	n   int
+	err error
+}
 
-// AddNode panics on duplicate names — allowlisted constructor-time check.
+// AddNode records construction errors instead of panicking — the real
+// package's post-Builder contract, so the allowlist stays empty.
 func (g *Graph) AddNode(name string) int {
-	if name == "" {
-		panic("graph: empty node name") // allowed: panicAllowlist entry
+	if name == "" && g.err == nil {
+		g.err = errEmptyName
 	}
 	g.n++
 	return g.n - 1
 }
 
-// AddEdge panics on out-of-range endpoints — allowlisted.
+// AddEdge records out-of-range endpoints instead of panicking.
 func (g *Graph) AddEdge(from, to int) {
-	if from >= g.n || to >= g.n {
-		panic("graph: endpoint out of range") // allowed: panicAllowlist entry
+	if (from >= g.n || to >= g.n) && g.err == nil {
+		g.err = errRange
 	}
 }
+
+// Err surfaces the first construction error.
+func (g *Graph) Err() error { return g.err }
 
 // Freeze is NOT on the allowlist, so its panic must be flagged.
 func (g *Graph) Freeze() {
 	panic("graph: not implemented") // want:panicfree `panic in hot-path function Freeze`
+}
+
+// Builder mimics the error-accumulating batch loader; its mutators are not
+// thread-safe (gosafe corpus).
+type Builder struct {
+	g    Graph
+	errs []error
+}
+
+// AddNode delegates to the graph and accumulates its error.
+func (b *Builder) AddNode(name string) int {
+	id := b.g.AddNode(name)
+	if err := b.g.Err(); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return id
+}
+
+// AddEdge delegates to the graph.
+func (b *Builder) AddEdge(from, to int) {
+	b.g.AddEdge(from, to)
+}
+
+// SetTuple records graph attributes.
+func (b *Builder) SetTuple(t *Tuple) {
+	_ = t
 }

@@ -56,13 +56,27 @@ func EqValuesOK(a, b graph.Value) bool {
 
 // ---- gosafe ----
 
+// Stats mimics the evaluation statistics; RecordOp appends without
+// synchronization, so it must only run on the coordinating goroutine.
+type Stats struct {
+	Ops []string
+}
+
+// RecordOp appends one operator record.
+func (s *Stats) RecordOp(op string) {
+	s.Ops = append(s.Ops, op)
+}
+
 // RacyWorkers shows each racy shape; PartitionedWorkers below is the
 // sanctioned form.
-func RacyWorkers(g *graph.Graph, in *index.Interner, vals []int) []int {
+func RacyWorkers(g *graph.Graph, b *graph.Builder, st *Stats, in *index.Interner, vals []int) []int {
 	var shared []int
 	ch := make(chan struct{})
 	go func() {
 		g.AddNode("x")             // want:gosafe `non-thread-safe internal/graph.Graph.AddNode`
+		b.AddNode("y")             // want:gosafe `non-thread-safe internal/graph.Builder.AddNode`
+		b.SetTuple(nil)            // want:gosafe `non-thread-safe internal/graph.Builder.SetTuple`
+		st.RecordOp("selection")   // want:gosafe `non-thread-safe internal/match.Stats.RecordOp`
 		in.Intern("a")             // want:gosafe `non-thread-safe internal/index.Interner.Intern`
 		shared = append(shared, 1) // want:gosafe `captured variable "shared"`
 		close(ch)

@@ -34,10 +34,18 @@ func LoadChecked(path string) error {
 	return nil
 }
 
-// helper is unexported; deep call sites are the exported functions'
-// responsibility to wrap: allowed.
+// helper is unexported but gets no exemption — deep call sites are exactly
+// where unattributed errors are born: flagged.
 func helper() error {
-	return errors.New("transient")
+	return errors.New("transient") // want:errwrap `lacks the`
+}
+
+// wrapped is an unexported helper that follows the idiom: allowed.
+func wrapped(path string) error {
+	if err := helper(); err != nil {
+		return fmt.Errorf("store: helper on %s: %w", path, err)
+	}
+	return nil
 }
 
 // Flush returns an error built elsewhere (dynamic message): allowed.

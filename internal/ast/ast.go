@@ -205,6 +205,9 @@ func (d *GraphDecl) ToGraph() (*graph.Graph, error) {
 			g.AddEdge(x.Name, from, to, t)
 		}
 	}
+	if err := g.Err(); err != nil {
+		return nil, fmt.Errorf("ast: graph %s: %w", d.Name, err)
+	}
 	return g, nil
 }
 

@@ -7,7 +7,9 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"gqldb/internal/algebra"
 	"gqldb/internal/ast"
@@ -17,6 +19,7 @@ import (
 	"gqldb/internal/match"
 	"gqldb/internal/motif"
 	"gqldb/internal/pattern"
+	"gqldb/internal/pool"
 )
 
 // Store maps document names (the argument of doc("...")) to collections.
@@ -38,6 +41,21 @@ type Engine struct {
 	DeriveDepth int
 	// DeriveLimit bounds the number of derived motifs (default 64).
 	DeriveLimit int
+	// Workers bounds the worker pool used for the for-clause: selection
+	// over the document and return-clause instantiation both fan out over
+	// up to Workers goroutines. 0 or 1 evaluates serially (the zero value
+	// keeps the original behavior); negative means GOMAXPROCS. Output
+	// order is identical at every setting.
+	Workers int
+}
+
+// workerCount resolves Engine.Workers to a pool worker request: the zero
+// value and 1 stay serial, negative asks the pool for GOMAXPROCS.
+func (e *Engine) workerCount() int {
+	if e.Workers == 0 {
+		return 1
+	}
+	return e.Workers
 }
 
 // Result is the outcome of running a program.
@@ -46,6 +64,9 @@ type Result struct {
 	Out graph.Collection
 	// Vars holds the graph variables (accumulators) by name.
 	Vars map[string]*graph.Graph
+	// Stats carries per-operator timing and fan-out records (match.OpStat)
+	// for the bulk operators the program executed.
+	Stats *match.Stats
 }
 
 // New returns an engine with the default (exhaustive, unoptimized)
@@ -56,23 +77,46 @@ func New(store Store) *Engine {
 
 // Run executes a parsed program.
 func (e *Engine) Run(prog *ast.Program) (*Result, error) {
+	return e.RunContext(context.Background(), prog)
+}
+
+// RunContext executes a parsed program under a context: cancellation is
+// checked between statements, per work item inside every bulk operator, and
+// on every backtracking step of each selection, so a cancelled program
+// returns ctx.Err() promptly even mid-match.
+func (e *Engine) RunContext(ctx context.Context, prog *ast.Program) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	env := &environment{
 		engine:  e,
+		ctx:     ctx,
+		stats:   &match.Stats{},
 		decls:   map[string]*ast.GraphDecl{},
 		vars:    map[string]*graph.Graph{},
 		grammar: motif.NewGrammar(),
 	}
+	done := ctx.Done()
 	for _, s := range prog.Stmts {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		if err := env.exec(s); err != nil {
 			return nil, err
 		}
 	}
-	return &Result{Out: env.out, Vars: env.vars}, nil
+	return &Result{Out: env.out, Vars: env.vars, Stats: env.stats}, nil
 }
 
 // environment is the mutable execution state.
 type environment struct {
 	engine  *Engine
+	ctx     context.Context
+	stats   *match.Stats
 	decls   map[string]*ast.GraphDecl
 	vars    map[string]*graph.Graph
 	grammar *motif.Grammar
@@ -240,6 +284,7 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 		tmplDecl = f.Let
 	}
 
+	workers := env.engine.workerCount()
 	for _, p := range pats {
 		target := coll
 		if cix, ok := env.engine.CollIndex[f.Doc]; ok {
@@ -253,10 +298,19 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 			}
 			target = filtered
 		}
-		ms, err := algebra.Selection(p, target, opts, env.engine.IxFor)
+		ms, err := algebra.SelectionContext(env.ctx, p, target, opts, env.engine.IxFor, workers, env.stats)
 		if err != nil {
 			return err
 		}
+		if f.Return != nil {
+			if err := env.returnFanout(p, ms, tmplDecl, workers); err != nil {
+				return err
+			}
+			continue
+		}
+		// A let clause folds each match into the accumulator variable: every
+		// instantiation reads the previous value through env.vars, so the
+		// fold is inherently sequential.
 		for _, m := range ms {
 			g, err := env.instantiate(tmplDecl, map[string]algebra.Operand{
 				p.Name: algebra.MatchedOperand(m),
@@ -264,14 +318,37 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 			if err != nil {
 				return err
 			}
-			if f.Return != nil {
-				env.out = append(env.out, g)
-			} else {
-				g.Name = f.LetName
-				env.vars[f.LetName] = g
-			}
+			g.Name = f.LetName
+			env.vars[f.LetName] = g
 		}
 	}
+	return nil
+}
+
+// returnFanout instantiates the return template for every match on the
+// worker pool. The matches only read the environment (graph variables are
+// not written during a return clause), so instantiations are independent;
+// results land in index-partitioned slots and are appended in match order —
+// output is identical to the serial loop.
+func (env *environment) returnFanout(p *pattern.Pattern, ms algebra.Matched, tmplDecl *ast.TemplateDecl, workers int) error {
+	workers = pool.Workers(workers, len(ms))
+	slots := make(graph.Collection, len(ms))
+	start := time.Now()
+	err := pool.Run(env.ctx, len(ms), workers, func(i int) error {
+		g, err := env.instantiate(tmplDecl, map[string]algebra.Operand{
+			p.Name: algebra.MatchedOperand(ms[i]),
+		})
+		if err != nil {
+			return err
+		}
+		slots[i] = g
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	env.stats.RecordOp("return-fanout", len(ms), workers, time.Since(start))
+	env.out = append(env.out, slots...)
 	return nil
 }
 

@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"gqldb/internal/algebra"
+	"gqldb/internal/gen"
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/pattern"
+	"gqldb/internal/stats"
+)
+
+// parallelWorkload builds the collection-of-small-graphs workload for the
+// parallel-operator study: the §4 "collections of small graphs" database
+// category, where per-member work (one selection per graph, one merge per
+// product pair) is the unit the worker pool fans out over.
+func (r *Runner) parallelWorkload() (graph.Collection, *pattern.Pattern, error) {
+	count := 4 * r.Cfg.SynPerSize
+	nodes := r.Cfg.SynN / 25
+	if nodes < 40 {
+		nodes = 40
+	}
+	var c graph.Collection
+	for i := 0; i < count; i++ {
+		c = append(c, gen.ER(nodes, 3*nodes, 4, r.Cfg.Seed+40+int64(i)))
+	}
+	rng := rand.New(rand.NewSource(r.Cfg.Seed + 41))
+	for tries := 0; tries < 100; tries++ {
+		if p := gen.SubgraphQuery(c[0], 4, rng); p != nil {
+			return c, p, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("figures: could not sample a parallel-workload query")
+}
+
+// ParallelSpeedup measures the context-aware parallel operators against
+// their serial (workers=1) counterparts on the collection workload: mean
+// wall time per run for selection over the collection and for the
+// Cartesian product of its halves, at 1, 2, 4 and GOMAXPROCS workers.
+// Output is byte-identical at every setting (the worker pool preserves
+// order), so the table isolates pure fan-out speedup.
+func (r *Runner) ParallelSpeedup() (*stats.Table, error) {
+	c, p, err := r.parallelWorkload()
+	if err != nil {
+		return nil, err
+	}
+	opt := match.Options{Exhaustive: true, Limit: r.Cfg.HitLimit}
+	half := len(c) / 2
+	left, right := c[:half], c[half:]
+
+	const reps = 3
+	type row struct {
+		label   string
+		workers int
+	}
+	rows := []row{
+		{"1", 1},
+		{"2", 2},
+		{"4", 4},
+		{fmt.Sprintf("gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0},
+	}
+
+	t := &stats.Table{
+		Title:   "Parallel operators: wall time (ms) and speedup vs serial, collection workload",
+		Headers: []string{"workers", "selection_ms", "selection_speedup", "product_ms", "product_speedup"},
+	}
+	var selSerial, prodSerial float64
+	for _, rw := range rows {
+		var selAgg, prodAgg stats.Agg
+		for rep := 0; rep < reps; rep++ {
+			var st match.Stats
+			start := time.Now()
+			if _, err := algebra.SelectionContext(context.Background(), p, c, opt, nil, rw.workers, &st); err != nil {
+				return nil, err
+			}
+			selAgg.Add(ms(time.Since(start)))
+			start = time.Now()
+			if _, err := algebra.CartesianProductContext(context.Background(), left, right, rw.workers, &st); err != nil {
+				return nil, err
+			}
+			prodAgg.Add(ms(time.Since(start)))
+		}
+		sel, prod := selAgg.Mean(), prodAgg.Mean()
+		if rw.workers == 1 {
+			selSerial, prodSerial = sel, prod
+		}
+		r.logf("parallel workers=%s: selection %.2fms, product %.2fms", rw.label, sel, prod)
+		t.AddRow(rw.label, stats.FmtMs(sel), fmt.Sprintf("%.2fx", selSerial/sel),
+			stats.FmtMs(prod), fmt.Sprintf("%.2fx", prodSerial/prod))
+	}
+	return t, nil
+}

@@ -238,7 +238,14 @@ func ReadBinary(r io.Reader) (Collection, error) {
 	if count > 1<<26 {
 		return nil, fmt.Errorf("graph: binary: implausible graph count %d", count)
 	}
-	out := make(Collection, 0, count)
+	// Cap the pre-allocation: the count is attacker-controlled and each graph
+	// still has to be parsed, so a huge claimed count must not reserve
+	// memory before any bytes back it up.
+	capHint := count
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	out := make(Collection, 0, capHint)
 	for gi := uint64(0); gi < count; gi++ {
 		name, err := br.str()
 		if err != nil {
@@ -248,10 +255,16 @@ func ReadBinary(r io.Reader) (Collection, error) {
 		if err != nil {
 			return nil, err
 		}
-		g := New(name)
-		g.Directed = dir != 0
-		if g.Attrs, err = br.tuple(); err != nil {
+		// Construction goes through the batch Builder: malformed records
+		// (duplicate names, bad endpoints) accumulate and reject the file
+		// with every offending op reported, instead of aborting the process.
+		bld := NewBuilder(name, dir != 0)
+		attrs, err := br.tuple()
+		if err != nil {
 			return nil, err
+		}
+		if attrs != nil {
+			bld.SetTuple(attrs)
 		}
 		nNodes, err := br.uvarint()
 		if err != nil {
@@ -269,7 +282,7 @@ func ReadBinary(r io.Reader) (Collection, error) {
 			if err != nil {
 				return nil, err
 			}
-			g.AddNode(nm, attrs)
+			bld.AddNode(nm, attrs)
 		}
 		nEdges, err := br.uvarint()
 		if err != nil {
@@ -298,7 +311,11 @@ func ReadBinary(r io.Reader) (Collection, error) {
 			if from >= nNodes || to >= nNodes {
 				return nil, fmt.Errorf("graph: binary: edge endpoint out of range")
 			}
-			g.AddEdge(nm, NodeID(from), NodeID(to), attrs)
+			bld.AddEdge(nm, NodeID(from), NodeID(to), attrs)
+		}
+		g, err := bld.Build()
+		if err != nil {
+			return nil, fmt.Errorf("graph: binary: %w", err)
 		}
 		out = append(out, g)
 	}

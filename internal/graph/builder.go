@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder is the batch-loader construction API: every mutator validates its
+// arguments, accumulates descriptive errors instead of panicking or
+// stopping, and Build returns them all at once. It is the right interface
+// for bulk ingest of untrusted graph files (ReadBinary, ReadTSV, loaders
+// over GADDI-style datasets), where a single malformed record must reject
+// the graph without aborting the process — and without hiding the other
+// errors in the same file.
+//
+// A Builder is single-goroutine; methods must not be called concurrently.
+// After Build the builder must not be reused.
+type Builder struct {
+	g    *Graph
+	errs []error
+	ops  int
+}
+
+// NewBuilder returns a builder for a graph with the given name and
+// orientation.
+func NewBuilder(name string, directed bool) *Builder {
+	g := New(name)
+	g.Directed = directed
+	return &Builder{g: g}
+}
+
+// fail records one accumulated error.
+func (b *Builder) fail(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("graph: builder %q op %d: %s",
+		b.g.Name, b.ops, fmt.Sprintf(format, args...)))
+}
+
+// absorbTuple records a malformed attribute tuple for the given element.
+func (b *Builder) absorbTuple(where string, attrs *Tuple) {
+	if err := attrs.Err(); err != nil {
+		b.errs = append(b.errs, fmt.Errorf("graph: builder %q op %d: %s: %w", b.g.Name, b.ops, where, err))
+	}
+}
+
+// AddNode appends a node. A duplicate name is recorded as an error; the
+// node is still added (under a uniquified name) so later AddEdge calls keep
+// referring to dense IDs and every error in a batch is reported.
+func (b *Builder) AddNode(name string, attrs *Tuple) NodeID {
+	b.ops++
+	if name != "" {
+		if _, dup := b.g.nodeByName[name]; dup {
+			b.fail("duplicate node name %q", name)
+		}
+	}
+	b.absorbTuple("node "+name, attrs)
+	id := b.g.AddNode(name, attrs)
+	b.g.err = nil // reported above, with position
+	return id
+}
+
+// AddEdge appends an edge. Out-of-range endpoints and duplicate names are
+// recorded as errors; a bad-endpoint edge is skipped and NoEdge returned.
+func (b *Builder) AddEdge(name string, from, to NodeID, attrs *Tuple) EdgeID {
+	b.ops++
+	if from < 0 || to < 0 || int(from) >= b.g.NumNodes() || int(to) >= b.g.NumNodes() {
+		b.fail("edge %q endpoints (%d,%d) out of range (%d nodes)", name, from, to, b.g.NumNodes())
+		return NoEdge
+	}
+	if name != "" {
+		if _, dup := b.g.edgeByName[name]; dup {
+			b.fail("duplicate edge name %q", name)
+		}
+	}
+	b.absorbTuple("edge "+name, attrs)
+	id := b.g.AddEdge(name, from, to, attrs)
+	b.g.err = nil
+	return id
+}
+
+// RenameNode changes a node's variable name; out-of-range IDs and duplicate
+// names are recorded as errors and leave the graph unchanged.
+func (b *Builder) RenameNode(id NodeID, name string) {
+	b.ops++
+	if id < 0 || int(id) >= b.g.NumNodes() {
+		b.fail("RenameNode(%d) out of range (%d nodes)", id, b.g.NumNodes())
+		return
+	}
+	if _, dup := b.g.nodeByName[name]; dup && b.g.nodes[id].Name != name {
+		b.fail("duplicate node name %q", name)
+		return
+	}
+	b.g.RenameNode(id, name)
+	b.g.err = nil
+}
+
+// SetTuple sets the graph's own attribute tuple, recording any tuple
+// construction error (e.g. a TupleOf value-type failure).
+func (b *Builder) SetTuple(attrs *Tuple) {
+	b.ops++
+	b.absorbTuple("graph attrs", attrs)
+	b.g.Attrs = attrs
+}
+
+// NumNodes returns the number of nodes added so far, so streaming loaders
+// can validate edge endpoints against the running count.
+func (b *Builder) NumNodes() int { return b.g.NumNodes() }
+
+// Err returns the errors accumulated so far, joined, or nil. Loaders that
+// want to abort early on the first bad record can poll it between ops.
+func (b *Builder) Err() error { return errors.Join(b.errs...) }
+
+// Build returns the constructed graph, or nil and the joined accumulated
+// errors if any mutator failed.
+func (b *Builder) Build() (*Graph, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}

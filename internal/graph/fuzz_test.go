@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedCollection builds a small fully-featured collection exercising
+// every Value kind, tags, directedness and multi-edges — the seed for the
+// binary-format fuzzer.
+func fuzzSeedCollection() Collection {
+	g1 := New("G1")
+	a := g1.AddNode("a", TupleOf("person", "name", "Ann", "age", int64(30)))
+	b := g1.AddNode("b", TupleOf("person", "name", "Bob", "score", 1.5))
+	g1.AddEdge("e1", a, b, TupleOf("knows", "since", int64(1999)))
+	g1.AddEdge("", a, b, nil)
+	g1.Attrs = TupleOf("meta", "ok", true)
+
+	g2 := NewDirected("G2")
+	x := g2.AddNode("x", nil)
+	g2.AddEdge("loop", x, x, nil)
+	return Collection{g1, g2}
+}
+
+// FuzzReadBinary asserts the binary reader's total-function contract over
+// arbitrary bytes: parse or error, never panic, never accept a graph with a
+// pending construction error. Accepted inputs must re-serialize and re-read
+// (round-trip stability).
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, fuzzSeedCollection()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("GQLB"))
+	f.Add([]byte("GQLB\x01\x00"))
+	// Truncations hit every mid-record error path.
+	for i := 0; i < buf.Len(); i += 7 {
+		f.Add(buf.Bytes()[:i])
+	}
+	// Header claiming 2^26 graphs with no bytes behind it: the allocation
+	// cap regression (a huge claimed count must not reserve memory).
+	f.Add([]byte("GQLB\x01\x80\x80\x80\x80\x40"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		c, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, g := range c {
+			if g == nil {
+				t.Fatalf("graph %d is nil without error", i)
+			}
+			if gerr := g.Err(); gerr != nil {
+				t.Fatalf("graph %d accepted with pending error: %v", i, gerr)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, c); err != nil {
+			t.Fatalf("re-serialize accepted collection: %v", err)
+		}
+		if _, err := ReadBinary(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadTSV asserts the same contract for the TSV exchange reader.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("g\tG\t0\nv\t0\tA\nv\t1\tB\ne\t0\t1\n")
+	f.Add("g\tG\t1\nv\t0\tA\ne\t0\t0\n")
+	f.Add("# comment\n\ng\tG\t0\n")
+	f.Add("v\t0\tA\n")
+	f.Add("g\tG\t0\nv\t1\tA\n")
+	f.Add("g\tG\t0\nv\t0\tA\ne\t0\t9\n")
+	f.Add("e\t-1\t-2\n")
+	f.Add("g\tG\t0\nx\tjunk\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<18 {
+			t.Skip("oversized input")
+		}
+		g, err := ReadTSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("nil graph without error")
+		}
+		if gerr := g.Err(); gerr != nil {
+			t.Fatalf("graph accepted with pending error: %v", gerr)
+		}
+		// Accepted graphs round-trip through the writer and reader.
+		var out bytes.Buffer
+		if err := WriteTSV(&out, g); err != nil {
+			t.Fatalf("re-serialize accepted graph: %v", err)
+		}
+		g2, err := ReadTSV(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip changed size: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}

@@ -15,6 +15,10 @@ type EdgeID int32
 // NoNode is the sentinel for "no node".
 const NoNode NodeID = -1
 
+// NoEdge is the sentinel for "no edge"; AddEdge returns it when the
+// endpoints are out of range and the edge cannot be added.
+const NoEdge EdgeID = -1
+
 // Node is a vertex with an optional variable name and an attribute tuple.
 type Node struct {
 	ID    NodeID
@@ -60,6 +64,13 @@ type Graph struct {
 	// pairs maps an ordered endpoint pair to the edges between them. For
 	// undirected graphs the pair is stored with min endpoint first.
 	pairs map[[2]NodeID][]EdgeID
+
+	// err records the first construction error (duplicate name, bad edge
+	// endpoint, malformed attribute tuple). Mutators keep the graph usable
+	// after an error — names are uniquified, bad edges skipped — so bulk
+	// loaders can accumulate and report via Err instead of aborting the
+	// process. Use Builder when every error must be reported.
+	err error
 }
 
 // New returns an empty undirected graph with the given name.
@@ -105,16 +116,55 @@ func (g *Graph) EdgeByName(name string) (EdgeID, bool) {
 	return id, ok
 }
 
-// AddNode appends a node. An empty name is auto-generated; a duplicate name
-// panics (names are variables and must be unique within a graph).
+// Err returns the first construction error recorded by AddNode, AddEdge,
+// RenameNode or an absorbed attribute tuple, or nil. Bulk loaders
+// (ReadBinary, ReadTSV, ParseGraph) check it before handing a graph out;
+// programmatic construction may ignore it (a recorded error there is a
+// call-site bug that tests catch via Err assertions).
+func (g *Graph) Err() error { return g.err }
+
+// setErr records the first construction error.
+func (g *Graph) setErr(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+// absorbTupleErr folds a malformed attribute tuple (e.g. a TupleOf call
+// with an unsupported value type) into the graph's construction error.
+func (g *Graph) absorbTupleErr(where string, attrs *Tuple) {
+	if err := attrs.Err(); err != nil {
+		g.setErr(fmt.Errorf("graph: %s in graph %q: %w", where, g.Name, err))
+	}
+}
+
+// uniquify returns name, suffixed if already taken, so construction can
+// continue after a duplicate-name error with dense IDs and unique names.
+func (g *Graph) uniquify(name string, taken map[string]NodeID, takenE map[string]EdgeID) string {
+	for i := 2; ; i++ {
+		c := fmt.Sprintf("%s_dup%d", name, i)
+		_, n := taken[c]
+		_, e := takenE[c]
+		if !n && !e {
+			return c
+		}
+	}
+}
+
+// AddNode appends a node. An empty name is auto-generated. A duplicate name
+// records a construction error on the graph (see Err) and the node is added
+// under a uniquified name, keeping IDs dense (names are variables and must
+// be unique within a graph).
 func (g *Graph) AddNode(name string, attrs *Tuple) NodeID {
 	id := NodeID(len(g.nodes))
 	if name == "" {
 		name = fmt.Sprintf("_n%d", id)
 	}
 	if _, dup := g.nodeByName[name]; dup {
-		panic(fmt.Sprintf("graph: duplicate node name %q in graph %q", name, g.Name))
+		g.setErr(fmt.Errorf("graph: duplicate node name %q in graph %q", name, g.Name))
+		name = g.uniquify(name, g.nodeByName, nil)
 	}
+	g.absorbTupleErr("node "+name, attrs)
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Attrs: attrs})
 	g.adj = append(g.adj, nil)
 	if g.Directed {
@@ -126,17 +176,22 @@ func (g *Graph) AddNode(name string, attrs *Tuple) NodeID {
 
 // AddEdge appends an edge between existing nodes. An empty name is
 // auto-generated. Self-loops and parallel edges are permitted (multigraph).
+// Out-of-range endpoints record a construction error (see Err) and return
+// NoEdge; a duplicate name records an error and uniquifies.
 func (g *Graph) AddEdge(name string, from, to NodeID, attrs *Tuple) EdgeID {
 	if int(from) >= len(g.nodes) || int(to) >= len(g.nodes) || from < 0 || to < 0 {
-		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range in graph %q", from, to, g.Name))
+		g.setErr(fmt.Errorf("graph: AddEdge(%d,%d) out of range in graph %q", from, to, g.Name))
+		return NoEdge
 	}
 	id := EdgeID(len(g.edges))
 	if name == "" {
 		name = fmt.Sprintf("_e%d", id)
 	}
 	if _, dup := g.edgeByName[name]; dup {
-		panic(fmt.Sprintf("graph: duplicate edge name %q in graph %q", name, g.Name))
+		g.setErr(fmt.Errorf("graph: duplicate edge name %q in graph %q", name, g.Name))
+		name = g.uniquify(name, nil, g.edgeByName)
 	}
+	g.absorbTupleErr("edge "+name, attrs)
 	g.edges = append(g.edges, Edge{ID: id, Name: name, From: from, To: to, Attrs: attrs})
 	g.edgeByName[name] = id
 	g.adj[from] = append(g.adj[from], Half{Edge: id, To: to})
@@ -203,6 +258,7 @@ func (g *Graph) Clone() *Graph {
 		Name:       g.Name,
 		Directed:   g.Directed,
 		Attrs:      g.Attrs.Clone(),
+		err:        g.err,
 		nodes:      make([]Node, len(g.nodes)),
 		edges:      make([]Edge, len(g.edges)),
 		adj:        make([][]Half, len(g.adj)),
@@ -239,10 +295,20 @@ func (g *Graph) Nodes() []Node { return g.nodes }
 // Edges returns the edge slice for read-only iteration.
 func (g *Graph) Edges() []Edge { return g.edges }
 
-// RenameNode changes a node's variable name, keeping uniqueness.
+// RenameNode changes a node's variable name, keeping uniqueness. An
+// out-of-range ID or a name already taken by another node records a
+// construction error (see Err) and leaves the graph unchanged.
 func (g *Graph) RenameNode(id NodeID, name string) {
+	if id < 0 || int(id) >= len(g.nodes) {
+		g.setErr(fmt.Errorf("graph: RenameNode(%d) out of range in graph %q", id, g.Name))
+		return
+	}
+	if g.nodes[id].Name == name {
+		return
+	}
 	if _, dup := g.nodeByName[name]; dup {
-		panic(fmt.Sprintf("graph: duplicate node name %q", name))
+		g.setErr(fmt.Errorf("graph: duplicate node name %q in graph %q", name, g.Name))
+		return
 	}
 	delete(g.nodeByName, g.nodes[id].Name)
 	g.nodes[id].Name = name

@@ -152,17 +152,118 @@ func TestMultigraphAndSelfLoops(t *testing.T) {
 	}
 }
 
-func TestDuplicateNamesPanic(t *testing.T) {
+func TestDuplicateNamesRecordError(t *testing.T) {
 	g := New("G")
 	g.AddNode("v", nil)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("duplicate node name should panic")
-			}
-		}()
-		g.AddNode("v", nil)
-	}()
+	id := g.AddNode("v", nil)
+	if g.Err() == nil {
+		t.Fatal("duplicate node name should record a construction error")
+	}
+	// Construction stays usable: the second node exists under a unique name
+	// with a dense ID, so bulk loaders can keep going and report at the end.
+	if id != 1 || g.NumNodes() != 2 {
+		t.Fatalf("after duplicate: id=%d nodes=%d, want 1 and 2", id, g.NumNodes())
+	}
+	if g.Node(0).Name == g.Node(1).Name {
+		t.Error("duplicate node kept a colliding name")
+	}
+	if g.Clone().Err() == nil {
+		t.Error("Clone must carry the construction error")
+	}
+}
+
+func TestAddEdgeOutOfRangeRecordsError(t *testing.T) {
+	g := New("G")
+	a := g.AddNode("a", nil)
+	if id := g.AddEdge("", a, 7, nil); id != NoEdge {
+		t.Fatalf("out-of-range AddEdge = %d, want NoEdge", id)
+	}
+	if g.Err() == nil {
+		t.Fatal("out-of-range AddEdge should record a construction error")
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("bad edge was added: %d edges", g.NumEdges())
+	}
+}
+
+func TestRenameNodeErrors(t *testing.T) {
+	g := New("G")
+	a := g.AddNode("a", nil)
+	g.AddNode("b", nil)
+	g.RenameNode(a, "b")
+	if g.Err() == nil {
+		t.Fatal("duplicate rename should record a construction error")
+	}
+	if g.Node(a).Name != "a" {
+		t.Error("failed rename must leave the name unchanged")
+	}
+	g2 := New("G2")
+	g2.RenameNode(5, "x")
+	if g2.Err() == nil {
+		t.Error("out-of-range rename should record a construction error")
+	}
+}
+
+func TestTupleOfErrors(t *testing.T) {
+	if err := TupleOf("", "k", struct{}{}).Err(); err == nil {
+		t.Error("unsupported value type should record an error")
+	}
+	if err := TupleOf("", "dangling").Err(); err == nil {
+		t.Error("dangling name should record an error")
+	}
+	if err := TupleOf("", 3, "v").Err(); err == nil {
+		t.Error("non-string name should record an error")
+	}
+	if err := TupleOf("", "k", 1, "s", "x", "b", true, "f", 1.5).Err(); err != nil {
+		t.Errorf("well-formed TupleOf recorded error: %v", err)
+	}
+	// Graphs absorb tuple errors when the tuple is attached.
+	g := New("G")
+	g.AddNode("v", TupleOf("", "k", struct{}{}))
+	if g.Err() == nil {
+		t.Error("attaching a malformed tuple should record a graph error")
+	}
+}
+
+func TestBuilderAccumulatesErrors(t *testing.T) {
+	b := NewBuilder("G", false)
+	a := b.AddNode("a", nil)
+	b.AddNode("a", nil)                  // duplicate node name
+	b.AddEdge("", a, 9, nil)             // out-of-range endpoint
+	b.AddNode("c", TupleOf("", "k", 'x')) // rune: unsupported value type
+	b.RenameNode(42, "zz")               // out-of-range rename
+	g, err := b.Build()
+	if g != nil || err == nil {
+		t.Fatalf("Build = %v, %v; want nil graph and joined errors", g, err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"duplicate node name", "out of range", "unsupported value type", "RenameNode"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestBuilderBuildsCleanGraph(t *testing.T) {
+	b := NewBuilder("G", true)
+	b.SetTuple(TupleOf("meta", "source", "test"))
+	u := b.AddNode("u", TupleOf("", "label", "A"))
+	v := b.AddNode("v", TupleOf("", "label", "B"))
+	b.AddEdge("e", u, v, nil)
+	b.RenameNode(v, "w")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed || g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("unexpected graph: %v", g)
+	}
+	if _, ok := g.NodeByName("w"); !ok {
+		t.Error("rename lost")
+	}
+	if g.Attrs.GetOr("source").AsString() != "test" {
+		t.Error("SetTuple lost")
+	}
 }
 
 func TestAutoNames(t *testing.T) {

@@ -41,16 +41,21 @@ func WriteTSV(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadTSV parses a graph in the TSV exchange format.
+// ReadTSV parses a graph in the TSV exchange format. Construction goes
+// through the batch Builder, so malformed records reject the file with an
+// error instead of aborting the process.
 func ReadTSV(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	var g *Graph
+	var bld *Builder
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		// Only line endings are trimmed: a TrimSpace here would eat the
+		// trailing tab of a record whose last field is empty (e.g. an empty
+		// label), truncating the field count.
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Split(line, "\t")
@@ -59,22 +64,21 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("graph: tsv line %d: malformed graph header", lineNo)
 			}
-			g = New(fields[1])
-			g.Directed = fields[2] == "1"
+			bld = NewBuilder(fields[1], fields[2] == "1")
 		case "v":
-			if g == nil {
+			if bld == nil {
 				return nil, fmt.Errorf("graph: tsv line %d: node before graph header", lineNo)
 			}
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("graph: tsv line %d: malformed node", lineNo)
 			}
 			id, err := strconv.Atoi(fields[1])
-			if err != nil || id != g.NumNodes() {
+			if err != nil || id != bld.NumNodes() {
 				return nil, fmt.Errorf("graph: tsv line %d: node IDs must be dense and ordered", lineNo)
 			}
-			g.AddNode("", TupleOf("", "label", fields[2]))
+			bld.AddNode("", TupleOf("", "label", fields[2]))
 		case "e":
-			if g == nil {
+			if bld == nil {
 				return nil, fmt.Errorf("graph: tsv line %d: edge before graph header", lineNo)
 			}
 			if len(fields) < 3 {
@@ -82,10 +86,10 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 			}
 			u, err1 := strconv.Atoi(fields[1])
 			v, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= g.NumNodes() || v >= g.NumNodes() {
+			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= bld.NumNodes() || v >= bld.NumNodes() {
 				return nil, fmt.Errorf("graph: tsv line %d: bad edge endpoints", lineNo)
 			}
-			g.AddEdge("", NodeID(u), NodeID(v), nil)
+			bld.AddEdge("", NodeID(u), NodeID(v), nil)
 		default:
 			return nil, fmt.Errorf("graph: tsv line %d: unknown record %q", lineNo, fields[0])
 		}
@@ -93,8 +97,12 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if g == nil {
+	if bld == nil {
 		return nil, fmt.Errorf("graph: tsv: empty input")
+	}
+	g, err := bld.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph: tsv: %w", err)
 	}
 	return g, nil
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -18,6 +19,18 @@ type Tuple struct {
 	Tag   string
 	attrs []Attr
 	index map[string]int
+	// err records a malformed TupleOf call (unsupported value type, dangling
+	// pair); graphs absorb it into their own construction error on attach.
+	err error
+}
+
+// Err returns the construction error recorded by TupleOf, or nil. A nil
+// tuple has no error.
+func (t *Tuple) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
 }
 
 // NewTuple returns an empty tuple with the given tag. An empty tag means the
@@ -27,11 +40,21 @@ func NewTuple(tag string) *Tuple {
 }
 
 // TupleOf builds a tuple from alternating name, value pairs; convenient in
-// tests and generators.
+// tests and generators. A non-string name, an unsupported value type or a
+// dangling trailing name records an error on the tuple (see Err) and the
+// offending pair is skipped; graphs absorb the error when the tuple is
+// attached, and Builder.Build surfaces it.
 func TupleOf(tag string, pairs ...any) *Tuple {
 	t := NewTuple(tag)
+	if len(pairs)%2 != 0 {
+		t.err = fmt.Errorf("graph: TupleOf: dangling name without a value")
+	}
 	for i := 0; i+1 < len(pairs); i += 2 {
-		name := pairs[i].(string)
+		name, ok := pairs[i].(string)
+		if !ok {
+			t.setErr(fmt.Errorf("graph: TupleOf: attribute name %v is not a string", pairs[i]))
+			continue
+		}
 		switch v := pairs[i+1].(type) {
 		case Value:
 			t.Set(name, v)
@@ -46,10 +69,17 @@ func TupleOf(tag string, pairs ...any) *Tuple {
 		case bool:
 			t.Set(name, Bool(v))
 		default:
-			panic("graph: TupleOf: unsupported value type")
+			t.setErr(fmt.Errorf("graph: TupleOf: unsupported value type %T for attribute %s", pairs[i+1], name))
 		}
 	}
 	return t
+}
+
+// setErr records the first construction error.
+func (t *Tuple) setErr(err error) {
+	if t.err == nil {
+		t.err = err
+	}
 }
 
 // Len returns the number of attributes. A nil tuple has length zero.
@@ -101,7 +131,7 @@ func (t *Tuple) Clone() *Tuple {
 	if t == nil {
 		return nil
 	}
-	c := &Tuple{Tag: t.Tag, attrs: append([]Attr(nil), t.attrs...)}
+	c := &Tuple{Tag: t.Tag, attrs: append([]Attr(nil), t.attrs...), err: t.err}
 	if t.index != nil {
 		c.index = make(map[string]int, len(t.index))
 		for k, v := range t.index {

@@ -7,6 +7,7 @@
 package match
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -131,6 +132,35 @@ type Stats struct {
 	Order []graph.NodeID
 	// EstCost is the planner's estimated cost of the chosen order.
 	EstCost float64
+	// CancelChecks counts context-cancellation polls performed by the
+	// evaluation (one per backtracking step when a cancellable context is
+	// supplied via FindContext).
+	CancelChecks int64
+	// Ops collects per-operator timing and fan-out records appended by the
+	// bulk algebra layer (parallel selection, product, join, compose and
+	// the exec pipeline); the §5 harness plots parallel speedup from these.
+	Ops []OpStat
+}
+
+// OpStat is one bulk-operator execution record: which operator ran, how
+// many work items it fanned out over, on how many workers, and its wall
+// time. Comparing Wall across Workers values yields the parallel-speedup
+// curves of the evaluation harness.
+type OpStat struct {
+	Op      string
+	Items   int
+	Workers int
+	Wall    time.Duration
+}
+
+// RecordOp appends one per-operator record. It is nil-safe so operators can
+// be instrumented unconditionally, and must only be called from the
+// goroutine coordinating the operator (never from pool workers).
+func (s *Stats) RecordOp(op string, items, workers int, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Ops = append(s.Ops, OpStat{Op: op, Items: items, Workers: workers, Wall: wall})
 }
 
 // Summary renders the statistics in one human-readable block: the three
@@ -186,13 +216,24 @@ func BuildIndex(g *graph.Graph, radius int, withSubgraphs bool) *Index {
 // no local pruning structures). It returns the mappings and, when
 // opt.CollectStats is set, filled statistics.
 func Find(p *pattern.Pattern, g *graph.Graph, ix *Index, opt Options) ([]Mapping, *Stats, error) {
+	return FindContext(context.Background(), p, g, ix, opt)
+}
+
+// FindContext is Find with cancellation and deadline support: the context
+// is polled on every backtracking step of the Algorithm 4.1 search (and
+// between the retrieval/refinement phases), so a cancelled selection
+// returns ctx.Err() within one step — not only between graphs.
+func FindContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph, ix *Index, opt Options) ([]Mapping, *Stats, error) {
 	if err := p.Compile(); err != nil {
 		return nil, nil, err
 	}
 	if opt.Gamma == 0 {
 		opt.Gamma = 0.5
 	}
-	s := &searcher{p: p, g: g, ix: ix, opt: opt, stats: &Stats{}}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &searcher{p: p, g: g, ix: ix, opt: opt, stats: &Stats{}, ctx: ctx, ctxDone: ctx.Done()}
 	if err := s.run(); err != nil {
 		return nil, nil, err
 	}
@@ -201,8 +242,13 @@ func Find(p *pattern.Pattern, g *graph.Graph, ix *Index, opt Options) ([]Mapping
 
 // Exists reports whether p has at least one feasible mapping in g.
 func Exists(p *pattern.Pattern, g *graph.Graph, ix *Index, opt Options) (bool, error) {
+	return ExistsContext(context.Background(), p, g, ix, opt)
+}
+
+// ExistsContext is Exists with cancellation and deadline support.
+func ExistsContext(ctx context.Context, p *pattern.Pattern, g *graph.Graph, ix *Index, opt Options) (bool, error) {
 	opt.Exhaustive = false
 	opt.Limit = 1
-	ms, _, err := Find(p, g, ix, opt)
+	ms, _, err := FindContext(ctx, p, g, ix, opt)
 	return len(ms) > 0, err
 }

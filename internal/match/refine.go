@@ -78,6 +78,9 @@ func (s *searcher) refine() {
 	epoch := int32(0)
 
 	for lvl := 1; lvl <= level && len(cur) > 0; lvl++ {
+		if s.cancelled() {
+			return
+		}
 		next = next[:0]
 		clear(inNext)
 		for _, pr := range cur {

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,13 @@ type searcher struct {
 	ix    *Index
 	opt   Options
 	stats *Stats
+
+	// ctx and its done channel bound the evaluation; ctxDone is nil for a
+	// non-cancellable context, which keeps the per-step poll free.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+	// ctxErr is the cancellation error observed by a poll, surfaced by run.
+	ctxErr error
 
 	// phi[u] is the current feasible-mate list of pattern node u.
 	phi [][]graph.NodeID
@@ -48,6 +56,26 @@ type pHalf struct {
 	out  bool
 }
 
+// cancelled polls the context; the first observed cancellation flips done
+// so the backtracking search unwinds immediately, and ctxErr carries the
+// cause out through run.
+func (s *searcher) cancelled() bool {
+	if s.ctxDone == nil {
+		return false
+	}
+	s.stats.CancelChecks++
+	select {
+	case <-s.ctxDone:
+		if s.ctxErr == nil {
+			s.ctxErr = s.ctx.Err()
+		}
+		s.done = true
+		return true
+	default:
+		return false
+	}
+}
+
 func (s *searcher) run() error {
 	n := s.p.Size()
 	s.stats.CandBaseline = make([]int, n)
@@ -59,11 +87,17 @@ func (s *searcher) run() error {
 		return err
 	}
 	s.stats.RetrieveTime = time.Since(start)
+	if s.ctxErr != nil {
+		return s.ctxErr
+	}
 
 	if s.opt.Refine {
 		start = time.Now()
 		s.refine()
 		s.stats.RefineTime = time.Since(start)
+		if s.ctxErr != nil {
+			return s.ctxErr
+		}
 	}
 	for u := range s.phi {
 		s.stats.CandRefined[u] = len(s.phi[u])
@@ -78,7 +112,7 @@ func (s *searcher) run() error {
 	s.search()
 	s.stats.SearchTime = time.Since(start)
 	s.stats.NumMatches = len(s.out)
-	return nil
+	return s.ctxErr
 }
 
 // retrieve fills phi with the feasible mates of every pattern node
@@ -95,6 +129,9 @@ func (s *searcher) retrieve() error {
 	}
 
 	for u := 0; u < n; u++ {
+		if s.cancelled() {
+			return nil
+		}
 		uid := graph.NodeID(u)
 		var cands []graph.NodeID
 		if s.ix != nil {
@@ -316,7 +353,7 @@ func (s *searcher) candidates(i int) []graph.NodeID {
 func (s *searcher) rec(i int) {
 	u := s.order[i]
 	for _, v := range s.candidates(i) {
-		if s.done {
+		if s.done || s.cancelled() {
 			return
 		}
 		if s.usedData[v] {

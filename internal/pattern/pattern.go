@@ -110,6 +110,9 @@ func (p *Pattern) Compile() error {
 	if p.compiled {
 		return nil
 	}
+	if err := p.Motif.Err(); err != nil {
+		return fmt.Errorf("pattern: %s: malformed motif: %w", p.Name, err)
+	}
 	// Attribute tuples on motif elements become equality conjuncts; tags
 	// become tag requirements.
 	for _, n := range p.Motif.Nodes() {
@@ -250,7 +253,7 @@ func (p *Pattern) validate() error {
 		if len(parts) == 1 {
 			continue // graph attribute of the matched graph
 		}
-		return fmt.Errorf("pattern %s: predicate references unknown variable %q", p.Name, head)
+		return fmt.Errorf("pattern: %s: predicate references unknown variable %q", p.Name, head)
 	}
 	return nil
 }

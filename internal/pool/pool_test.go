@@ -1,0 +1,121 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7, 64} {
+		for _, n := range []int{0, 1, 15, 16, 17, 100, 1000} {
+			hits := make([]int32, n)
+			err := Run(context.Background(), n, workers, func(i int) error {
+				atomic.AddInt32(&hits[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	// Errors at several indices: the serial-first (lowest) one must win
+	// regardless of worker count and scheduling.
+	bad := map[int]bool{37: true, 200: true, 611: true}
+	want := 37
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 20; trial++ {
+			err := Run(context.Background(), 1000, workers, func(i int) error {
+				if bad[i] {
+					return fmt.Errorf("item %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != fmt.Sprintf("item %d failed", want) {
+				t.Fatalf("workers=%d: err = %v, want item %d", workers, err, want)
+			}
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := Run(ctx, 10000, workers, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if int(ran.Load()) == 10000 {
+			t.Fatalf("workers=%d: cancellation did not stop the pool", workers)
+		}
+	}
+}
+
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Run(ctx, 100, 4, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunErrorBeatsCancellation(t *testing.T) {
+	// A recorded fn error takes precedence over a concurrent cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sentinel := errors.New("boom")
+	err := Run(ctx, 100, 4, func(i int) error {
+		if i == 3 {
+			cancel()
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRunNilContext(t *testing.T) {
+	var ran atomic.Int32
+	if err := Run(nil, 50, 4, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50", ran.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(5, 3); w != 3 {
+		t.Fatalf("Workers(5,3) = %d", w)
+	}
+	if w := Workers(2, 100); w != 2 {
+		t.Fatalf("Workers(2,100) = %d", w)
+	}
+	if w := Workers(0, 0); w != 1 {
+		t.Fatalf("Workers(0,0) = %d", w)
+	}
+	if w := Workers(-1, 8); w < 1 || w > 8 {
+		t.Fatalf("Workers(-1,8) = %d", w)
+	}
+}
