@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet gqlvet fuzz-smoke check
+.PHONY: all build test race vet gqlvet fuzz-smoke bench-obs check
 
 all: check
 
@@ -26,13 +26,21 @@ vet:
 gqlvet:
 	$(GO) run ./cmd/gqlvet ./...
 
-## fuzz-smoke: brief fuzz of the parser and the binary/TSV graph
+## fuzz-smoke: brief fuzz of the parsers and the binary/TSV graph
 ## readers (panics are failures); run longer locally when touching
-## internal/lexer, internal/parser or the internal/graph load paths
+## internal/lexer, internal/parser, internal/sqlbase or the
+## internal/graph load paths
 fuzz-smoke:
 	$(GO) test ./internal/parser -run FuzzParse -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/graph -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime 5s
 	$(GO) test ./internal/graph -run FuzzReadTSV -fuzz FuzzReadTSV -fuzztime 5s
+	$(GO) test ./internal/sqlbase -run FuzzParseSQL -fuzz FuzzParseSQL -fuzztime 5s
+
+## bench-obs: tracing-overhead guard — the off variant must stay within
+## noise of BenchmarkParallelExec (observability disabled is one context
+## lookup per operator)
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkTracingOverhead|BenchmarkParallelExec' -benchtime 1x .
 
 ## check: everything CI runs
 check: build vet gqlvet test race fuzz-smoke

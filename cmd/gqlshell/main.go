@@ -11,20 +11,33 @@
 // literals forming a collection). The query is read from the argument file
 // or stdin. Graphs produced by return clauses and the final values of
 // graph variables are printed in the language's text syntax.
+//
+// Observability: a query beginning with the word EXPLAIN runs with tracing
+// enabled and prints the evaluation span tree (per-operator wall time,
+// fan-out, candidate/pruning counts and search-space reduction ratios)
+// instead of the result graphs; PROFILE prints the results *and* the trace
+// plus a Prometheus-style dump of the process metrics. The -workers,
+// -slow and -metrics flags configure the engine fan-out, the slow-query
+// log threshold and an unconditional metrics dump.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"gqldb/internal/ast"
 	"gqldb/internal/exec"
 	"gqldb/internal/graph"
+	"gqldb/internal/obs"
 	"gqldb/internal/parser"
+	"gqldb/internal/stats"
 )
 
 // docFlags collects repeated -doc name=path flags.
@@ -44,7 +57,10 @@ func (d docFlags) Set(v string) error {
 func main() {
 	docs := docFlags{}
 	flag.Var(docs, "doc", "document binding name=path (repeatable; .tsv, .bin or .gql)")
-	exhaustiveDefault := flag.Bool("v", false, "verbose: print matched-variable summary")
+	verbose := flag.Bool("v", false, "verbose: print matched-variable summary")
+	workers := flag.Int("workers", 0, "for-clause fan-out (0/1 serial, negative GOMAXPROCS)")
+	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables; e.g. 100ms)")
+	metrics := flag.Bool("metrics", false, "dump process metrics (Prometheus text format) after the run")
 	flag.Parse()
 
 	store := exec.Store{}
@@ -67,29 +83,145 @@ func main() {
 		fail("reading query: %v", err)
 	}
 
-	prog, err := parser.Parse(string(src))
-	if err != nil {
-		fail("%v", err)
+	mode, query := splitDirective(string(src))
+
+	e := exec.New(store)
+	e.Workers = *workers
+	e.SlowQuery = *slow
+	e.SlowQueryLog = func(r obs.SlowQueryRecord) { fmt.Fprintf(os.Stderr, "gqlshell: %s\n", r) }
+	e.Trace = mode != ""
+
+	var root *obs.Span
+	prog, perr := parseTraced(query, e, &root)
+	if perr != nil {
+		fail("%v", perr)
 	}
-	res, err := exec.New(store).Run(prog)
+	res, err := e.RunContext(ctxWithRoot(root), prog)
+	root.End()
 	if err != nil {
 		fail("%v", err)
 	}
 
-	for i, g := range res.Out {
-		fmt.Printf("// result %d\n%s;\n", i, g)
+	if mode != "explain" {
+		for i, g := range res.Out {
+			fmt.Printf("// result %d\n%s;\n", i, g)
+		}
+		names := make([]string, 0, len(res.Vars))
+		for name := range res.Vars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("// variable %s\n%s;\n", name, res.Vars[name])
+		}
 	}
-	names := make([]string, 0, len(res.Vars))
-	for name := range res.Vars {
-		names = append(names, name)
+	if mode != "" {
+		renderTrace(os.Stdout, res)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Printf("// variable %s\n%s;\n", name, res.Vars[name])
+	if mode == "profile" || *metrics {
+		fmt.Println("// metrics")
+		if err := obs.WritePrometheus(os.Stdout); err != nil {
+			fail("writing metrics: %v", err)
+		}
 	}
-	if *exhaustiveDefault {
+	if *verbose {
 		fmt.Fprintf(os.Stderr, "gqlshell: %d result graphs, %d variables\n", len(res.Out), len(res.Vars))
 	}
+}
+
+// splitDirective strips a leading EXPLAIN or PROFILE keyword (case-
+// insensitive, delimited by whitespace) off the query text, returning the
+// lowered mode ("" when absent) and the remaining program source.
+func splitDirective(src string) (mode, rest string) {
+	trimmed := strings.TrimLeftFunc(src, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	for _, kw := range []string{"explain", "profile"} {
+		if len(trimmed) > len(kw) && strings.EqualFold(trimmed[:len(kw)], kw) {
+			if c := trimmed[len(kw)]; c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				return kw, trimmed[len(kw)+1:]
+			}
+		}
+	}
+	return "", src
+}
+
+// parseTraced parses the program; when the engine traces, the root span is
+// created first so the parse phase is part of the tree.
+func parseTraced(query string, e *exec.Engine, root **obs.Span) (*ast.Program, error) {
+	if e.Trace {
+		*root = obs.NewTrace("query")
+	}
+	psp := (*root).StartChild("parse")
+	prog, err := parser.Parse(query)
+	psp.End()
+	return prog, err
+}
+
+// ctxWithRoot installs the root span when tracing; a nil root leaves the
+// context bare (tracing disabled).
+func ctxWithRoot(root *obs.Span) context.Context {
+	ctx := context.Background()
+	if root != nil {
+		ctx = obs.NewContext(ctx, root)
+	}
+	return ctx
+}
+
+// renderTrace prints the span tree, the per-operator table (from the
+// engine's OpStat records) and the per-selection reduction table computed
+// from the span counters, reusing the §5 harness formatting helpers.
+func renderTrace(w io.Writer, res *exec.Result) {
+	fmt.Fprintln(w, "// trace")
+	fmt.Fprint(w, res.Trace.Render())
+
+	if res.Stats != nil && len(res.Stats.Ops) > 0 {
+		t := &stats.Table{
+			Title:   "// operators",
+			Headers: []string{"op", "items", "workers", "wall_ms"},
+		}
+		for _, op := range res.Stats.Ops {
+			t.AddRow(op.Op, fmt.Sprint(op.Items), fmt.Sprint(op.Workers),
+				stats.FmtMs(float64(op.Wall)/float64(time.Millisecond)))
+		}
+		fmt.Fprint(w, t.Format())
+	}
+
+	sel := &stats.Table{
+		Title:   "// selection search space",
+		Headers: []string{"pattern", "baseline", "local", "refined", "matches", "reduction"},
+	}
+	res.Trace.Walk(func(_ int, sp *obs.Span) {
+		if sp.Name != "selection" {
+			return
+		}
+		name := "?"
+		for _, a := range sp.Attrs() {
+			if a.Key == "pattern" {
+				name = a.Val
+			}
+		}
+		base, local := sp.Count("cand_baseline"), sp.Count("cand_local")
+		refined := sp.Count("cand_refined")
+		sel.AddRow(name, fmt.Sprint(base), fmt.Sprint(local), fmt.Sprint(refined),
+			fmt.Sprint(sp.Count("matches")), reductionCell(refined, base))
+	})
+	if len(sel.Rows) > 0 {
+		fmt.Fprint(w, sel.Format())
+	}
+}
+
+// reductionCell renders the candidate-count reduction refined/baseline in
+// the figures' log scale (stats.ReductionRatioLog10 over log10 counts).
+func reductionCell(refined, baseline int64) string {
+	switch {
+	case baseline == 0:
+		return "n/a"
+	case refined == 0:
+		return "empty"
+	}
+	return stats.FmtLog(stats.ReductionRatioLog10(
+		math.Log10(float64(refined)), math.Log10(float64(baseline))))
 }
 
 // loadDoc reads a document: .tsv is one large graph, .bin a binary

@@ -28,6 +28,7 @@ package gqldb
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"gqldb/internal/algebra"
 	"gqldb/internal/ast"
@@ -36,6 +37,7 @@ import (
 	"gqldb/internal/gindex"
 	"gqldb/internal/graph"
 	"gqldb/internal/match"
+	"gqldb/internal/obs"
 	"gqldb/internal/parser"
 	"gqldb/internal/pattern"
 	"gqldb/internal/reach"
@@ -105,6 +107,15 @@ type (
 	// construction error with its operation position, and Build returns the
 	// graph or the joined errors — the API for ingesting untrusted input.
 	GraphBuilder = graph.Builder
+	// Span is one node of a query-evaluation trace tree: a named phase or
+	// operator with wall time, annotations, counters and children. Returned
+	// in QueryResult.Trace when tracing is enabled.
+	Span = obs.Span
+	// SpanAttr is one key/value annotation on a trace span.
+	SpanAttr = obs.Attr
+	// SlowQueryRecord is handed to Engine.SlowQueryLog when a query crosses
+	// Engine.SlowQuery.
+	SlowQueryRecord = obs.SlowQueryRecord
 )
 
 // Graph constructors.
@@ -297,9 +308,13 @@ func Run(src string, store Store) (*QueryResult, error) {
 // RunContext parses and executes a GraphQL program under a context on a
 // bounded worker pool: workers configures the engine's for-clause fan-out
 // (0 or 1 serial, negative GOMAXPROCS) and cancellation is honored down to
-// individual backtracking steps of each selection.
+// individual backtracking steps of each selection. When ctx carries a trace
+// (StartTrace), parsing and every evaluation phase record spans and the
+// tree is returned in QueryResult.Trace.
 func RunContext(ctx context.Context, src string, store Store, workers int) (*QueryResult, error) {
+	psp := TraceFromContext(ctx).StartChild("parse")
 	prog, err := parser.Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +322,27 @@ func RunContext(ctx context.Context, src string, store Store, workers int) (*Que
 	e.Workers = workers
 	return e.RunContext(ctx, prog)
 }
+
+// StartTrace enables tracing for everything evaluated under the returned
+// context: a started root span is installed and returned. End it after the
+// query and read the tree with Span.Render (or via QueryResult.Trace).
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	root := obs.NewTrace(name)
+	return obs.NewContext(ctx, root), root
+}
+
+// TraceFromContext returns the context's current trace span, or nil when
+// tracing is disabled. All Span methods are nil-safe.
+func TraceFromContext(ctx context.Context) *Span { return obs.FromContext(ctx) }
+
+// WriteMetrics dumps the process-wide query metrics (counters and latency
+// histograms, also published via expvar under "gqldb") in the Prometheus
+// text exposition format.
+func WriteMetrics(w io.Writer) error { return obs.WritePrometheus(w) }
+
+// MetricsSnapshot returns the current value of every process-wide metric:
+// counters as int64, histograms as {count, sum_seconds} maps.
+func MetricsSnapshot() map[string]any { return obs.Snapshot() }
 
 // NewEngine returns a query engine over the store with default options; set
 // Workers, Opts, IxFor or CollIndex before calling Run/RunContext.

@@ -7,9 +7,31 @@ import (
 	"gqldb/internal/expr"
 	"gqldb/internal/graph"
 	"gqldb/internal/match"
+	"gqldb/internal/obs"
 	"gqldb/internal/pattern"
 	"gqldb/internal/pool"
 )
+
+// startOpSpan opens the operator's trace span (a no-op returning a nil span
+// unless the context carries a trace) and stamps the fan-out shape every
+// bulk operator shares.
+func startOpSpan(ctx context.Context, op string, items, workers int) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, op)
+	if sp != nil {
+		sp.Add("items", int64(items))
+		sp.Add("workers", int64(workers))
+	}
+	return ctx, sp
+}
+
+// sumInts totals one per-pattern-node candidate-count vector.
+func sumInts(xs []int) int64 {
+	var s int64
+	for _, x := range xs {
+		s += int64(x)
+	}
+	return s
+}
 
 // The context-aware bulk operators below are the parallel (and cancellable)
 // forms of the §3.3 algebra. They all share the same contract:
@@ -35,16 +57,27 @@ func SelectionContext(ctx context.Context, p *pattern.Pattern, c graph.Collectio
 	}
 	workers = pool.Workers(workers, len(c))
 	slots := make([]Matched, len(c))
+	sctx, sp := startOpSpan(ctx, "selection", len(c), workers)
 	start := time.Now()
-	err := pool.Run(ctx, len(c), workers, func(i int) error {
+	err := pool.Run(sctx, len(c), workers, func(i int) error {
 		g := c[i]
 		var ix *match.Index
 		if ixFor != nil {
 			ix = ixFor(g)
 		}
-		maps, _, err := match.FindContext(ctx, p, g, ix, opt)
+		maps, st, err := match.FindContext(sctx, p, g, ix, opt)
 		if err != nil {
 			return err
+		}
+		if sp != nil {
+			// Aggregate the §4 access-method counters across the collection:
+			// candidate-space sizes before/after local pruning and refinement,
+			// backtracking steps, and mappings found. Span.Add is worker-safe.
+			sp.Add("cand_baseline", sumInts(st.CandBaseline))
+			sp.Add("cand_local", sumInts(st.CandLocal))
+			sp.Add("cand_refined", sumInts(st.CandRefined))
+			sp.Add("search_steps", st.SearchSteps)
+			sp.Add("matches", int64(len(maps)))
 		}
 		for _, m := range maps {
 			slots[i] = append(slots[i], &MatchedGraph{P: p, G: g, M: m})
@@ -52,13 +85,19 @@ func SelectionContext(ctx context.Context, p *pattern.Pattern, c graph.Collectio
 		return nil
 	})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	stats.RecordOp("selection", len(c), workers, time.Since(start))
+	wall := time.Since(start)
+	stats.RecordOp("selection", len(c), workers, wall)
+	obs.SelectionSeconds.Observe(wall)
 	var out Matched
 	for _, ms := range slots {
 		out = append(out, ms...)
 	}
+	obs.Matches.Add(int64(len(out)))
+	sp.SetAttr("pattern", p.Name)
+	sp.End()
 	return out, nil
 }
 
@@ -76,8 +115,9 @@ func CartesianProductContext(ctx context.Context, c, d graph.Collection, workers
 	n := len(c) * len(d)
 	workers = pool.Workers(workers, n)
 	out := make(graph.Collection, n)
+	sctx, sp := startOpSpan(ctx, "product", n, workers)
 	start := time.Now()
-	err := pool.Run(ctx, n, workers, func(i int) error {
+	err := pool.Run(sctx, n, workers, func(i int) error {
 		g1, g2 := c[i/len(d)], d[i%len(d)]
 		g, err := t.Instantiate(map[string]Operand{
 			"G1": GraphOperand(g1),
@@ -90,6 +130,7 @@ func CartesianProductContext(ctx context.Context, c, d graph.Collection, workers
 		out[i] = g
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -109,8 +150,9 @@ func ValuedJoinContext(ctx context.Context, c, d graph.Collection, pred expr.Exp
 	n := len(c) * len(d)
 	workers = pool.Workers(workers, n)
 	slots := make(graph.Collection, n)
+	sctx, sp := startOpSpan(ctx, "valued-join", n, workers)
 	start := time.Now()
-	err := pool.Run(ctx, n, workers, func(i int) error {
+	err := pool.Run(sctx, n, workers, func(i int) error {
 		g1, g2 := c[i/len(d)], d[i%len(d)]
 		g, err := t.Instantiate(map[string]Operand{
 			"G1": GraphOperand(g1),
@@ -130,6 +172,7 @@ func ValuedJoinContext(ctx context.Context, c, d graph.Collection, pred expr.Exp
 		return nil
 	})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	stats.RecordOp("valued-join", n, workers, time.Since(start))
@@ -139,6 +182,8 @@ func ValuedJoinContext(ctx context.Context, c, d graph.Collection, pred expr.Exp
 			out = append(out, g)
 		}
 	}
+	sp.Add("kept", int64(len(out)))
+	sp.End()
 	return out, nil
 }
 
@@ -147,8 +192,9 @@ func ValuedJoinContext(ctx context.Context, c, d graph.Collection, pred expr.Exp
 func ComposeContext(ctx context.Context, t *Template, param string, c Matched, workers int, stats *match.Stats) (graph.Collection, error) {
 	workers = pool.Workers(workers, len(c))
 	out := make(graph.Collection, len(c))
+	sctx, sp := startOpSpan(ctx, "compose", len(c), workers)
 	start := time.Now()
-	err := pool.Run(ctx, len(c), workers, func(i int) error {
+	err := pool.Run(sctx, len(c), workers, func(i int) error {
 		g, err := t.Instantiate(map[string]Operand{param: MatchedOperand(c[i])})
 		if err != nil {
 			return err
@@ -156,6 +202,7 @@ func ComposeContext(ctx context.Context, t *Template, param string, c Matched, w
 		out[i] = g
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -169,8 +216,9 @@ func StructuralJoinContext(ctx context.Context, t *Template, p1, p2 string, c, d
 	n := len(c) * len(d)
 	workers = pool.Workers(workers, n)
 	out := make(graph.Collection, n)
+	sctx, sp := startOpSpan(ctx, "structural-join", n, workers)
 	start := time.Now()
-	err := pool.Run(ctx, n, workers, func(i int) error {
+	err := pool.Run(sctx, n, workers, func(i int) error {
 		g, err := t.Instantiate(map[string]Operand{
 			p1: MatchedOperand(c[i/len(d)]),
 			p2: MatchedOperand(d[i%len(d)]),
@@ -181,6 +229,7 @@ func StructuralJoinContext(ctx context.Context, t *Template, p1, p2 string, c, d
 		out[i] = g
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

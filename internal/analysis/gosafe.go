@@ -15,6 +15,11 @@ var unsafeInGoroutine = map[string]map[string]bool{
 	// Stats.RecordOp appends to the Ops slice; the parallel operators call
 	// it from the coordinating goroutine only, never from pool workers.
 	"internal/match.Stats": {"RecordOp": true},
+	// Span.End and SetAttr are coordinator-only by contract: End freezes
+	// the wall clock once and SetAttr is last-write-wins, so calling either
+	// from pool workers corrupts the trace even though Add/StartChild are
+	// locked and worker-safe.
+	"internal/obs.Span": {"End": true, "SetAttr": true},
 }
 
 // GoSafe inspects goroutine bodies (as in algebra.ParallelSelection) for

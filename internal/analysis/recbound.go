@@ -15,10 +15,11 @@ var recboundPkgs = []string{
 	"internal/reach",
 }
 
-// boundWords are identifier fragments accepted as evidence that a
-// recursive function threads a depth/budget or checks a cancellation or
-// visited-set bound. Matching is case-insensitive on substrings, so
-// maxDepth, RefineLevel-style limits, s.done and visited[] all qualify.
+// boundWords are identifier fragments recognised as depth/budget carriers
+// or cancellation/visited-set state. Matching is case-insensitive on
+// substrings, so maxDepth, RefineLevel-style limits, s.done and visited[]
+// all qualify — but only in the dataflow positions checked below, not
+// anywhere in the function.
 var boundWords = []string{
 	"depth", "budget", "limit", "fuel", "remaining",
 	"cancel", "done", "visited", "stop", "ctx", "deadline", "step",
@@ -26,11 +27,15 @@ var boundWords = []string{
 
 // RecBound requires every (directly or mutually) recursive function in
 // match/motif/reach to show a visible termination bound beyond structural
-// recursion: a depth/budget parameter, a cancellation flag, or a visited
-// set.
+// recursion. Evidence is dataflow, not spelling: a bound-word value must
+// either be *modified* in an argument of a call into the recursion
+// (depth-1 threaded down), or *checked* in a condition position (if/for
+// condition, switch tag or case, select communication, range operand).
+// Merely naming a parameter "depth" and passing it through unchanged is
+// not a bound.
 var RecBound = &Analyzer{
 	Name: "recbound",
-	Doc:  "recursive functions in match/motif/reach must thread a depth/budget parameter or check a cancellation/limit",
+	Doc:  "recursive functions in match/motif/reach must decrement a depth/budget argument or check a limit/cancellation/visited bound in a condition",
 	Run:  runRecBound,
 }
 
@@ -51,6 +56,10 @@ func runRecBound(pass *Pass) {
 			}
 		}
 	}
+	local := map[*types.Func]bool{}
+	for fn := range decls {
+		local[fn] = true
+	}
 	// Call-graph edges between functions of this package.
 	calls := map[*types.Func][]*types.Func{}
 	for caller, fd := range decls {
@@ -60,7 +69,7 @@ func runRecBound(pass *Pass) {
 				return true
 			}
 			if callee, ok := pass.Info.Uses[id].(*types.Func); ok {
-				if _, local := decls[callee]; local {
+				if _, isLocal := decls[callee]; isLocal {
 					calls[caller] = append(calls[caller], callee)
 				}
 			}
@@ -71,10 +80,10 @@ func runRecBound(pass *Pass) {
 		if !reaches(calls, fn, fn, map[*types.Func]bool{}) {
 			continue
 		}
-		if hasBoundEvidence(fd) {
+		if hasBoundEvidence(pass, fd, local) {
 			continue
 		}
-		pass.Reportf(fd.Pos(), "recursive function %s has no visible depth/budget/cancellation bound; thread a depth or budget parameter, or check a limit/cancellation flag", fn.Name())
+		pass.Reportf(fd.Pos(), "recursive function %s has no visible depth/budget/cancellation bound; decrement a depth or budget argument when recursing, or check a limit/cancellation/visited bound in a condition", fn.Name())
 	}
 }
 
@@ -95,26 +104,108 @@ func reaches(calls map[*types.Func][]*types.Func, fn, target *types.Func, seen m
 	return false
 }
 
-// hasBoundEvidence scans parameter names and every identifier mentioned in
-// the body for a bound word.
-func hasBoundEvidence(fd *ast.FuncDecl) bool {
-	for _, field := range fd.Type.Params.List {
-		for _, name := range field.Names {
-			if isBoundWord(name.Name) {
-				return true
-			}
-		}
-	}
+// hasBoundEvidence reports whether the function shows a dataflow bound:
+//
+//   - Rule A: a call to a package-local function passes an argument that
+//     mentions a bound word AND is a compound expression — the bound is
+//     being modified on the way down (depth-1, budget/2, min(d, limit)).
+//     A bare identifier or field passed through unchanged is NOT evidence;
+//     that is exactly the lucky-name shape the lexical scan used to accept.
+//
+//   - Rule B: a bound word appears inside a condition position — an if or
+//     for condition, a switch tag or case expression, a select
+//     communication, or a range operand. These are where a budget check,
+//     cancellation flag or visited set actually gates the recursion.
+func hasBoundEvidence(pass *Pass, fd *ast.FuncDecl, local map[*types.Func]bool) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			found = exprMentionsBound(n.Cond)
+		case *ast.ForStmt:
+			found = n.Cond != nil && exprMentionsBound(n.Cond)
+		case *ast.RangeStmt:
+			found = exprMentionsBound(n.X)
+		case *ast.SwitchStmt:
+			found = n.Tag != nil && exprMentionsBound(n.Tag)
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				if exprMentionsBound(e) {
+					found = true
+				}
+			}
+		case *ast.CommClause:
+			if n.Comm != nil {
+				ast.Inspect(n.Comm, func(m ast.Node) bool {
+					if e, ok := m.(ast.Expr); ok && exprMentionsBound(e) {
+						found = true
+					}
+					return !found
+				})
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(pass, n)
+			if callee == nil || !local[callee] {
+				return true
+			}
+			for _, arg := range n.Args {
+				if isPassThrough(arg) {
+					continue
+				}
+				if exprMentionsBound(arg) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeFunc resolves the called function object for direct and method
+// calls; nil for indirect calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPassThrough reports whether the argument is an unmodified name — a
+// bare identifier or selector chain — carrying no evidence that a bound is
+// consumed.
+func isPassThrough(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isPassThrough(e.X)
+	case *ast.ParenExpr:
+		return isPassThrough(e.X)
+	}
+	return false
+}
+
+// exprMentionsBound reports whether any identifier inside e contains a
+// bound word.
+func exprMentionsBound(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
 		if id, ok := n.(*ast.Ident); ok && isBoundWord(id.Name) {
 			found = true
-			return false
 		}
-		return true
+		return !found
 	})
 	return found
 }

@@ -8,6 +8,7 @@ import (
 
 	"gqldb/internal/graph"
 	"gqldb/internal/index"
+	"gqldb/internal/obs"
 )
 
 // ---- panicfree ----
@@ -69,7 +70,7 @@ func (s *Stats) RecordOp(op string) {
 
 // RacyWorkers shows each racy shape; PartitionedWorkers below is the
 // sanctioned form.
-func RacyWorkers(g *graph.Graph, b *graph.Builder, st *Stats, in *index.Interner, vals []int) []int {
+func RacyWorkers(g *graph.Graph, b *graph.Builder, st *Stats, in *index.Interner, sp *obs.Span, vals []int) []int {
 	var shared []int
 	ch := make(chan struct{})
 	go func() {
@@ -78,11 +79,27 @@ func RacyWorkers(g *graph.Graph, b *graph.Builder, st *Stats, in *index.Interner
 		b.SetTuple(nil)            // want:gosafe `non-thread-safe internal/graph.Builder.SetTuple`
 		st.RecordOp("selection")   // want:gosafe `non-thread-safe internal/match.Stats.RecordOp`
 		in.Intern("a")             // want:gosafe `non-thread-safe internal/index.Interner.Intern`
+		sp.End()                   // want:gosafe `non-thread-safe internal/obs.Span.End`
+		sp.SetAttr("k", "v")       // want:gosafe `non-thread-safe internal/obs.Span.SetAttr`
 		shared = append(shared, 1) // want:gosafe `captured variable "shared"`
 		close(ch)
 	}()
 	<-ch
 	return shared
+}
+
+// TracedWorkers uses only the worker-safe span mutators: allowed.
+func TracedWorkers(sp *obs.Span, vals []int) {
+	ch := make(chan struct{})
+	go func() {
+		child := sp.StartChild("op")
+		for range vals {
+			sp.Add("items", 1)
+		}
+		_ = child
+		close(ch)
+	}()
+	<-ch
 }
 
 // PartitionedWorkers writes only worker-owned slots and locals: allowed.
@@ -149,6 +166,25 @@ func WalkDepth(n, depth int) int {
 		return 0
 	}
 	return 1 + WalkDepth(n/2, depth-1)
+}
+
+// DrillLucky names a parameter "depth" but never checks or decrements it —
+// the bound is spelling, not dataflow. The lexical scan accepted this;
+// the dataflow rules flag it.
+func DrillLucky(n, depth int) int { // want:recbound `recursive function DrillLucky`
+	if n <= 1 {
+		return depth
+	}
+	return DrillLucky(n/2, depth)
+}
+
+// DrillChecked passes depth through unchanged but gates on it: allowed
+// (the check is the bound; think cancellation flags).
+func DrillChecked(n, depth int) int {
+	if depth <= 0 || n <= 1 {
+		return 0
+	}
+	return DrillChecked(n/2, depth)
 }
 
 // Iterative has no recursion at all: allowed.

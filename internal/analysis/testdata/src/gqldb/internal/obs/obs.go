@@ -1,0 +1,69 @@
+// Package obs is a miniature stand-in for gqldb/internal/obs with the
+// split concurrency contract the gosafe analyzer encodes: Add and
+// StartChild are locked and worker-safe, End and SetAttr are
+// coordinator-only.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one span annotation.
+type Attr struct {
+	Key, Val string
+}
+
+// Span mimics the trace span.
+type Span struct {
+	Name  string
+	Start time.Time
+
+	mu     sync.Mutex
+	wall   time.Duration
+	ended  bool
+	attrs  []Attr
+	counts map[string]int64
+}
+
+// Add is locked: safe from pool workers.
+func (s *Span) Add(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counts == nil {
+		s.counts = map[string]int64{}
+	}
+	s.counts[key] += n
+	s.mu.Unlock()
+}
+
+// StartChild is locked: safe from concurrently running operators.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	_ = c
+	s.mu.Unlock()
+	return c
+}
+
+// End writes the wall clock unlocked — coordinator-only.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.wall = time.Since(s.Start)
+}
+
+// SetAttr appends unlocked — coordinator-only.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}

@@ -9,6 +9,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"gqldb/internal/algebra"
@@ -18,6 +19,7 @@ import (
 	"gqldb/internal/graph"
 	"gqldb/internal/match"
 	"gqldb/internal/motif"
+	"gqldb/internal/obs"
 	"gqldb/internal/pattern"
 	"gqldb/internal/pool"
 )
@@ -47,6 +49,17 @@ type Engine struct {
 	// keeps the original behavior); negative means GOMAXPROCS. Output
 	// order is identical at every setting.
 	Workers int
+	// Trace enables per-query trace collection: RunContext roots a span
+	// tree (unless the context already carries one), threads it through
+	// every phase and operator, and returns it in Result.Trace. Query
+	// results are byte-identical with tracing on and off.
+	Trace bool
+	// SlowQuery, when positive, is the wall-time threshold above which a
+	// finished program (successful or not) is reported to SlowQueryLog.
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow-query records; nil falls back to the
+	// standard logger.
+	SlowQueryLog func(obs.SlowQueryRecord)
 }
 
 // workerCount resolves Engine.Workers to a pool worker request: the zero
@@ -67,6 +80,9 @@ type Result struct {
 	// Stats carries per-operator timing and fan-out records (match.OpStat)
 	// for the bulk operators the program executed.
 	Stats *match.Stats
+	// Trace is the query's span tree when tracing was enabled (Engine.Trace
+	// or a span-carrying context), else nil.
+	Trace *obs.Span
 }
 
 // New returns an engine with the default (exhaustive, unoptimized)
@@ -84,10 +100,55 @@ func (e *Engine) Run(prog *ast.Program) (*Result, error) {
 // checked between statements, per work item inside every bulk operator, and
 // on every backtracking step of each selection, so a cancelled program
 // returns ctx.Err() promptly even mid-match.
+//
+// Observability: the run is counted in the process metrics; when tracing is
+// enabled (Engine.Trace, or a span installed in ctx via obs.NewContext) the
+// evaluation phases record a span tree, returned in Result.Trace. A run
+// whose wall time crosses Engine.SlowQuery is reported to the slow-query
+// log hook whether it succeeded or failed.
 func (e *Engine) RunContext(ctx context.Context, prog *ast.Program) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	root := obs.FromContext(ctx)
+	rooted := false // this call created (and must End) the root span
+	if root == nil && e.Trace {
+		root = obs.NewTrace("query")
+		rooted = true
+	}
+	if root != nil {
+		ctx = obs.NewContext(ctx, root)
+	}
+	obs.Queries.Inc()
+	start := time.Now()
+	res, executed, err := e.run(ctx, prog)
+	wall := time.Since(start)
+	obs.QuerySeconds.Observe(wall)
+	if err != nil {
+		obs.QueryErrors.Inc()
+	}
+	if rooted {
+		root.End()
+	}
+	if e.SlowQuery > 0 && wall >= e.SlowQuery {
+		obs.SlowQueries.Inc()
+		rec := obs.SlowQueryRecord{Wall: wall, Statements: executed, Err: err, Trace: root}
+		if e.SlowQueryLog != nil {
+			e.SlowQueryLog(rec)
+		} else {
+			log.Printf("exec: %s", rec)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = root
+	return res, nil
+}
+
+// run executes the program statements, returning the result, the number of
+// statements executed, and the terminal error.
+func (e *Engine) run(ctx context.Context, prog *ast.Program) (*Result, int, error) {
 	env := &environment{
 		engine:  e,
 		ctx:     ctx,
@@ -97,19 +158,19 @@ func (e *Engine) RunContext(ctx context.Context, prog *ast.Program) (*Result, er
 		grammar: motif.NewGrammar(),
 	}
 	done := ctx.Done()
-	for _, s := range prog.Stmts {
+	for i, s := range prog.Stmts {
 		if done != nil {
 			select {
 			case <-done:
-				return nil, ctx.Err()
+				return nil, i, ctx.Err()
 			default:
 			}
 		}
 		if err := env.exec(s); err != nil {
-			return nil, err
+			return nil, i, err
 		}
 	}
-	return &Result{Out: env.out, Vars: env.vars, Stats: env.stats}, nil
+	return &Result{Out: env.out, Vars: env.vars, Stats: env.stats}, len(prog.Stmts), nil
 }
 
 // environment is the mutable execution state.
@@ -270,10 +331,18 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 	if !ok {
 		return fmt.Errorf("exec: unknown document %q", f.Doc)
 	}
+	fctx, fsp := obs.StartSpan(env.ctx, "flwr")
+	defer fsp.End()
+	fsp.SetAttr("pattern", decl.Name)
+	fsp.SetAttr("doc", f.Doc)
+
+	csp := fsp.StartChild("compile")
 	pats, err := env.patterns(decl, f.Where)
+	csp.End()
 	if err != nil {
 		return err
 	}
+	csp.Add("patterns", int64(len(pats)))
 	opts := env.engine.Opts
 	opts.Exhaustive = f.Exhaustive
 
@@ -288,22 +357,29 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 	for _, p := range pats {
 		target := coll
 		if cix, ok := env.engine.CollIndex[f.Doc]; ok {
+			isp := fsp.StartChild("index-filter")
 			cands, err := cix.Candidates(p)
+			isp.End()
 			if err != nil {
 				return err
 			}
+			isp.Add("total", int64(len(coll)))
+			isp.Add("candidates", int64(len(cands)))
+			isp.Add("pruned", int64(len(coll)-len(cands)))
+			obs.GindexCandidates.Add(int64(len(cands)))
+			obs.GindexPruned.Add(int64(len(coll) - len(cands)))
 			filtered := make(graph.Collection, len(cands))
 			for i, gi := range cands {
 				filtered[i] = coll[gi]
 			}
 			target = filtered
 		}
-		ms, err := algebra.SelectionContext(env.ctx, p, target, opts, env.engine.IxFor, workers, env.stats)
+		ms, err := algebra.SelectionContext(fctx, p, target, opts, env.engine.IxFor, workers, env.stats)
 		if err != nil {
 			return err
 		}
 		if f.Return != nil {
-			if err := env.returnFanout(p, ms, tmplDecl, workers); err != nil {
+			if err := env.returnFanout(fctx, p, ms, tmplDecl, workers); err != nil {
 				return err
 			}
 			continue
@@ -311,16 +387,20 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 		// A let clause folds each match into the accumulator variable: every
 		// instantiation reads the previous value through env.vars, so the
 		// fold is inherently sequential.
+		lsp := fsp.StartChild("let-fold")
+		lsp.Add("items", int64(len(ms)))
 		for _, m := range ms {
 			g, err := env.instantiate(tmplDecl, map[string]algebra.Operand{
 				p.Name: algebra.MatchedOperand(m),
 			})
 			if err != nil {
+				lsp.End()
 				return err
 			}
 			g.Name = f.LetName
 			env.vars[f.LetName] = g
 		}
+		lsp.End()
 	}
 	return nil
 }
@@ -330,11 +410,15 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 // not written during a return clause), so instantiations are independent;
 // results land in index-partitioned slots and are appended in match order —
 // output is identical to the serial loop.
-func (env *environment) returnFanout(p *pattern.Pattern, ms algebra.Matched, tmplDecl *ast.TemplateDecl, workers int) error {
+func (env *environment) returnFanout(ctx context.Context, p *pattern.Pattern, ms algebra.Matched, tmplDecl *ast.TemplateDecl, workers int) error {
 	workers = pool.Workers(workers, len(ms))
 	slots := make(graph.Collection, len(ms))
+	sctx, sp := obs.StartSpan(ctx, "return-fanout")
+	sp.Add("items", int64(len(ms)))
+	sp.Add("workers", int64(workers))
+	defer sp.End()
 	start := time.Now()
-	err := pool.Run(env.ctx, len(ms), workers, func(i int) error {
+	err := pool.Run(sctx, len(ms), workers, func(i int) error {
 		g, err := env.instantiate(tmplDecl, map[string]algebra.Operand{
 			p.Name: algebra.MatchedOperand(ms[i]),
 		})

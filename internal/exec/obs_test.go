@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gqldb/internal/ast"
+	"gqldb/internal/gindex"
+	"gqldb/internal/obs"
+	"gqldb/internal/parser"
+)
+
+const coauthorSrc = `
+graph P {
+	node v1 <author>;
+	node v2 <author>;
+} where P.booktitle="SIGMOD";
+for P exhaustive in doc("DBLP") return graph {
+	node P.v1, P.v2;
+	edge e1 (P.v1, P.v2);
+};`
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+// TestTraceDisabledByDefault: no Engine.Trace, no ctx span — Result.Trace
+// stays nil and execution is untouched.
+func TestTraceDisabledByDefault(t *testing.T) {
+	e := New(Store{"DBLP": dblp()})
+	res, err := e.RunContext(context.Background(), parse(t, coauthorSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatalf("Trace = %v, want nil when tracing is off", res.Trace)
+	}
+}
+
+// TestTraceSpanTree: Engine.Trace records the whole phase tree with
+// truthful counters, and tracing must not change the results.
+func TestTraceSpanTree(t *testing.T) {
+	plain, err := New(Store{"DBLP": dblp()}).RunContext(context.Background(), parse(t, coauthorSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Store{"DBLP": dblp()})
+	e.Trace = true
+	e.Workers = 4
+	res, err := e.RunContext(context.Background(), parse(t, coauthorSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("Result.Trace missing with Engine.Trace set")
+	}
+	if len(res.Out) != len(plain.Out) {
+		t.Fatalf("tracing changed results: %d graphs vs %d", len(res.Out), len(plain.Out))
+	}
+	for i := range plain.Out {
+		if res.Out[i].Signature() != plain.Out[i].Signature() {
+			t.Fatalf("tracing changed result %d", i)
+		}
+	}
+
+	seen := map[string]int{}
+	var flwr, selection *obs.Span
+	res.Trace.Walk(func(_ int, sp *obs.Span) {
+		seen[sp.Name]++
+		switch sp.Name {
+		case "flwr":
+			flwr = sp
+		case "selection":
+			selection = sp
+		}
+	})
+	for _, name := range []string{"query", "flwr", "compile", "selection", "return-fanout"} {
+		if seen[name] == 0 {
+			t.Errorf("trace missing %q span; have %v", name, seen)
+		}
+	}
+	if flwr != nil {
+		var pat string
+		for _, a := range flwr.Attrs() {
+			if a.Key == "pattern" {
+				pat = a.Val
+			}
+		}
+		if pat != "P" {
+			t.Errorf("flwr pattern attr = %q, want P", pat)
+		}
+	}
+	if selection != nil {
+		if selection.Count("matches") == 0 {
+			t.Error("selection span has zero matches counter")
+		}
+		if selection.Count("workers") == 0 {
+			t.Error("selection span has zero workers counter")
+		}
+	}
+	if res.Trace.Wall() <= 0 {
+		t.Error("root span wall time not frozen")
+	}
+}
+
+// TestExternalRootSpan: a span installed by the caller (the facade's parse
+// span pattern) is reused — the engine hangs its phases off it and does NOT
+// End it.
+func TestExternalRootSpan(t *testing.T) {
+	root := obs.NewTrace("caller")
+	ctx := obs.NewContext(context.Background(), root)
+	e := New(Store{"DBLP": dblp()}) // note: e.Trace left false
+	res, err := e.RunContext(ctx, parse(t, coauthorSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != root {
+		t.Fatal("Result.Trace must be the caller's root span")
+	}
+	found := false
+	root.Walk(func(_ int, sp *obs.Span) { found = found || sp.Name == "flwr" })
+	if !found {
+		t.Fatal("engine phases not attached to the caller's root")
+	}
+}
+
+// TestSlowQueryHook: a 1ns threshold reports every query to the hook with
+// a truthful statement count and the trace when available.
+func TestSlowQueryHook(t *testing.T) {
+	e := New(Store{"DBLP": dblp()})
+	e.Trace = true
+	e.SlowQuery = time.Nanosecond
+	var got []obs.SlowQueryRecord
+	e.SlowQueryLog = func(r obs.SlowQueryRecord) { got = append(got, r) }
+	before := obs.SlowQueries.Value()
+	if _, err := e.RunContext(context.Background(), parse(t, coauthorSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(got))
+	}
+	if got[0].Wall <= 0 || got[0].Statements != 2 || got[0].Trace == nil || got[0].Err != nil {
+		t.Fatalf("record = %+v", got[0])
+	}
+	if obs.SlowQueries.Value() != before+1 {
+		t.Fatalf("slow-query counter delta = %d, want 1", obs.SlowQueries.Value()-before)
+	}
+	// Below threshold: silent.
+	e.SlowQuery = time.Hour
+	if _, err := e.RunContext(context.Background(), parse(t, coauthorSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("hook fired below threshold")
+	}
+}
+
+// TestTraceIndexFilterCounters: with a collection index attached, the
+// index-filter span carries candidate/pruned counters that add up.
+func TestTraceIndexFilterCounters(t *testing.T) {
+	coll := dblp()
+	e := New(Store{"DBLP": coll})
+	e.Trace = true
+	e.CollIndex = map[string]*gindex.Index{"DBLP": gindex.Build(coll, 2)}
+	res, err := e.RunContext(context.Background(), parse(t, coauthorSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ix *obs.Span
+	res.Trace.Walk(func(_ int, sp *obs.Span) {
+		if sp.Name == "index-filter" {
+			ix = sp
+		}
+	})
+	if ix == nil {
+		t.Fatal("no index-filter span with CollIndex set")
+	}
+	total, cand, pruned := ix.Count("total"), ix.Count("candidates"), ix.Count("pruned")
+	if total != int64(len(coll)) || cand+pruned != total {
+		t.Fatalf("filter counters total=%d candidates=%d pruned=%d", total, cand, pruned)
+	}
+}

@@ -123,6 +123,13 @@ func featureOf(g *graph.Graph, labels []string, path []graph.NodeID) (string, bo
 // for every path feature of the pattern's motif (using constant node
 // labels), the graph must contain the feature with at least the same
 // count. Patterns with non-constant labels fall back to all graphs.
+//
+// A nil (or empty) candidate slice with a nil error means the filter
+// *proved* no graph can contain the pattern. Degenerate patterns whose
+// labelled motif yields zero path features (a node-less pattern — e.g. a
+// pure graph-attribute predicate — contributes no features at all) are NOT
+// proof of emptiness: such patterns can match any graph, so they fall back
+// to the full collection, exactly like patterns with non-constant labels.
 func (ix *Index) Candidates(p *pattern.Pattern) ([]int32, error) {
 	if err := p.Compile(); err != nil {
 		return nil, err
@@ -132,6 +139,12 @@ func (ix *Index) Candidates(p *pattern.Pattern) ([]int32, error) {
 		return ix.all(), nil
 	}
 	feats := pathFeatures(qg, ix.MaxLen)
+	if len(feats) == 0 {
+		// Zero features constrain nothing: returning nil here would be
+		// indistinguishable from "no candidate graphs" and silently drop
+		// every answer of a matchable pattern.
+		return ix.all(), nil
+	}
 	// Start from the rarest feature's posting list and intersect.
 	type fc struct {
 		f string

@@ -133,6 +133,47 @@ func TestNonConstLabelFallsBack(t *testing.T) {
 	}
 }
 
+// TestZeroFeatureFallsBack: a node-less pattern has zero path features, so
+// the filter has nothing to intersect. That is "no constraint", not "no
+// candidates" — an empty pattern matches every graph once, so returning
+// nil there silently dropped every answer.
+func TestZeroFeatureFallsBack(t *testing.T) {
+	coll := graph.Collection{
+		mkGraph("g0", "AB", [][2]int{{0, 1}}),
+		mkGraph("g1", "C", nil),
+	}
+	ix := Build(coll, 2)
+	p := pattern.New("Q") // no nodes at all
+	cands, err := ix.Candidates(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(coll) {
+		t.Fatalf("zero-feature pattern must fall back to all graphs, got %v", cands)
+	}
+	// End to end: filter+verify agrees with ground truth (every graph).
+	hits, _, err := ix.Select(p, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int32
+	for gi, g := range coll {
+		ok, err := match.Exists(p, g, nil, match.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			want = append(want, int32(gi))
+		}
+	}
+	if fmt.Sprint(hits) != fmt.Sprint(want) {
+		t.Fatalf("filter changed answers for degenerate pattern: %v vs %v", hits, want)
+	}
+	if len(hits) != len(coll) {
+		t.Fatalf("empty pattern must match every graph, got %v", hits)
+	}
+}
+
 // TestFilterNeverDropsAnswers: cross-validate filter+verify against full
 // scan on random collections and extracted patterns (the filter must be
 // sound — zero false dismissals).

@@ -1,0 +1,193 @@
+// Process-wide metrics: a fixed registry of counters and fixed-bucket
+// latency histograms covering the query pipeline (queries, matches, gindex
+// pruning, pool fan-out, errors, slow queries). Counters are single atomic
+// adds and are always on; the instrumented call sites fire once per
+// operator or query, never per work item, so the steady-state cost is
+// negligible next to evaluation work.
+//
+// The registry is exposed two ways: expvar (one "gqldb" var holding a
+// snapshot map, for the standard /debug/vars endpoint) and WritePrometheus
+// (the text exposition format, for scraping or dumping from tools).
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// defBuckets are the fixed histogram upper bounds in seconds: sub-100µs
+// index probes through multi-second analytical queries.
+var defBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are counted
+// into the first bucket whose upper bound is >= the value, plus a +Inf
+// overflow bucket, with a running count and sum — the Prometheus histogram
+// shape.
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64 // upper bounds in seconds, ascending
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// The process-wide metric set.
+var (
+	// Queries counts engine program executions (Run/RunContext).
+	Queries = newCounter("gqldb_queries_total", "programs executed by the query engine")
+	// QueryErrors counts executions that returned an error (including
+	// cancellation).
+	QueryErrors = newCounter("gqldb_query_errors_total", "program executions that returned an error")
+	// SlowQueries counts executions that crossed the engine's slow-query
+	// threshold.
+	SlowQueries = newCounter("gqldb_slow_queries_total", "program executions over the slow-query threshold")
+	// Matches counts mappings produced by the selection operator.
+	Matches = newCounter("gqldb_matches_total", "mappings produced by selection")
+	// GindexCandidates counts graphs that survived the path-feature filter.
+	GindexCandidates = newCounter("gqldb_gindex_candidates_total", "graphs kept by the collection index filter")
+	// GindexPruned counts graphs the path-feature filter skipped without
+	// verification.
+	GindexPruned = newCounter("gqldb_gindex_pruned_total", "graphs pruned by the collection index filter")
+	// PoolRuns counts bulk-operator executions on the worker pool.
+	PoolRuns = newCounter("gqldb_pool_runs_total", "bulk operator executions on the worker pool")
+	// PoolTasks counts individual work items fanned out on the pool.
+	PoolTasks = newCounter("gqldb_pool_tasks_total", "work items fanned out on the worker pool")
+	// QuerySeconds is the end-to-end program latency distribution.
+	QuerySeconds = newHistogram("gqldb_query_seconds", "program wall time")
+	// SelectionSeconds is the per-selection-operator latency distribution.
+	SelectionSeconds = newHistogram("gqldb_selection_seconds", "selection operator wall time")
+)
+
+// registry holds every metric in registration order for the dumps.
+var registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	hists    []*Histogram
+}
+
+func newCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	registry.mu.Lock()
+	registry.counters = append(registry.counters, c)
+	registry.mu.Unlock()
+	return c
+}
+
+func newHistogram(name, help string) *Histogram {
+	h := &Histogram{name: name, help: help, bounds: defBuckets,
+		buckets: make([]atomic.Int64, len(defBuckets)+1)}
+	registry.mu.Lock()
+	registry.hists = append(registry.hists, h)
+	registry.mu.Unlock()
+	return h
+}
+
+func init() {
+	// One expvar under "gqldb" (visible on /debug/vars next to the runtime
+	// vars) holding the whole registry snapshot.
+	expvar.Publish("gqldb", expvar.Func(func() any { return Snapshot() }))
+}
+
+// Snapshot returns the current value of every metric: counters as int64,
+// histograms as {count, sum_seconds} maps.
+func Snapshot() map[string]any {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]any, len(registry.counters)+len(registry.hists))
+	for _, c := range registry.counters {
+		out[c.name] = c.Value()
+	}
+	for _, h := range registry.hists {
+		out[h.name] = map[string]any{
+			"count":       h.Count(),
+			"sum_seconds": h.Sum().Seconds(),
+		}
+	}
+	return out
+}
+
+// WritePrometheus dumps the registry in the Prometheus text exposition
+// format (counters and cumulative-bucket histograms).
+func WritePrometheus(w io.Writer) error {
+	registry.mu.Lock()
+	counters := append([]*Counter(nil), registry.counters...)
+	hists := append([]*Histogram(nil), registry.hists...)
+	registry.mu.Unlock()
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, ub := range h.bounds {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.name, ub, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			h.name, cum, h.name, h.Sum().Seconds(), h.name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

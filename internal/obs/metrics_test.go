@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	c := &Counter{name: "test_counter_total"}
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // negative deltas are ignored, counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if c.Name() != "test_counter_total" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := &Histogram{name: "test_seconds", bounds: defBuckets,
+		buckets: make([]atomic.Int64, len(defBuckets)+1)}
+
+	h.Observe(50 * time.Microsecond) // below first bound (100µs) -> bucket 0
+	h.Observe(3 * time.Millisecond)  // first bound >= 3ms is 5ms -> bucket 5
+	h.Observe(time.Hour)             // beyond all bounds -> overflow bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	wantSum := 50*time.Microsecond + 3*time.Millisecond + time.Hour
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %v, want %v", got, wantSum)
+	}
+	if n := h.buckets[0].Load(); n != 1 {
+		t.Fatalf("bucket[0] = %d, want 1", n)
+	}
+	if n := h.buckets[5].Load(); n != 1 {
+		t.Fatalf("bucket[5] (5ms) = %d, want 1", n)
+	}
+	if n := h.buckets[len(defBuckets)].Load(); n != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", n)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	QuerySeconds.Observe(time.Millisecond)
+	Queries.Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"# TYPE gqldb_queries_total counter",
+		"# HELP gqldb_query_seconds",
+		"# TYPE gqldb_query_seconds histogram",
+		`gqldb_query_seconds_bucket{le="0.001"}`,
+		`gqldb_query_seconds_bucket{le="+Inf"}`,
+		"gqldb_query_seconds_sum",
+		"gqldb_query_seconds_count",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("WritePrometheus missing %q in:\n%s", frag, out)
+		}
+	}
+	// Buckets must be cumulative: +Inf equals the total count.
+	var infLine string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, `gqldb_query_seconds_bucket{le="+Inf"}`) {
+			infLine = l
+		}
+	}
+	wantTail := fmt.Sprintf(" %d", QuerySeconds.Count())
+	if !strings.HasSuffix(infLine, wantTail) {
+		t.Fatalf("+Inf bucket %q does not equal count %d", infLine, QuerySeconds.Count())
+	}
+}
+
+func TestSnapshotAndExpvar(t *testing.T) {
+	Queries.Inc()
+	snap := Snapshot()
+	n, ok := snap["gqldb_queries_total"].(int64)
+	if !ok || n < 1 {
+		t.Fatalf("snapshot gqldb_queries_total = %v (%T), want >= 1", snap["gqldb_queries_total"], snap["gqldb_queries_total"])
+	}
+	hist, ok := snap["gqldb_query_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot histogram has type %T", snap["gqldb_query_seconds"])
+	}
+	if _, ok := hist["count"]; !ok {
+		t.Fatal("histogram snapshot missing count")
+	}
+	if v := expvar.Get("gqldb"); v == nil {
+		t.Fatal("expvar var gqldb not published")
+	} else if !strings.Contains(v.String(), "gqldb_queries_total") {
+		t.Fatalf("expvar dump missing counter: %s", v.String())
+	}
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	var wg sync.WaitGroup
+	before := Matches.Value()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Matches.Inc()
+				SelectionSeconds.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Matches.Value() - before; got != 8000 {
+		t.Fatalf("Matches delta = %d, want 8000", got)
+	}
+}

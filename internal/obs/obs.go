@@ -1,0 +1,266 @@
+// Package obs is the query observability layer: hierarchical trace spans
+// carried through context.Context, a process-wide metrics registry exposed
+// via expvar and a Prometheus-style text dump, and the slow-query record
+// consumed by the engine's slow-query log hook.
+//
+// Tracing is opt-in per query. Evaluation code calls StartSpan, which is a
+// no-op (returning the context unchanged and a nil span) unless a caller
+// installed a root span with NewTrace + NewContext. Every Span method is
+// nil-safe, so instrumented operators need no conditionals and the disabled
+// path costs one context value lookup per operator — not per work item.
+//
+// Concurrency contract: StartChild, Add and every reader (Wall, Count,
+// Counts, Attrs, Children, Render, Walk) are safe for concurrent use, so
+// pool workers and concurrently running operators may share one sink. End
+// and SetAttr are coordinator-only — they must be called by the goroutine
+// that started the span, never from pool workers (enforced by gqlvet's
+// gosafe table).
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span, in insertion order.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one node of a query-evaluation trace: a named phase or operator
+// with its wall time, ordered annotations, named counters and child spans.
+type Span struct {
+	// Name identifies the phase or operator (e.g. "parse", "selection").
+	Name string
+	// Start is the span's start time.
+	Start time.Time
+
+	mu       sync.Mutex
+	wall     time.Duration
+	ended    bool
+	attrs    []Attr
+	counts   map[string]int64
+	children []*Span
+}
+
+// NewTrace returns a started root span; install it with NewContext to
+// enable tracing for everything evaluated under that context.
+func NewTrace(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild appends and returns a started child span. It is nil-safe (a
+// nil receiver returns nil, so an untraced path stays free of conditionals)
+// and safe for concurrent use by sibling operators.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's wall time. Nil-safe; later calls keep the first
+// recorded duration. Coordinator-only: call it from the goroutine that
+// started the span.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.wall = time.Since(s.Start)
+}
+
+// SetAttr appends one annotation. Nil-safe; coordinator-only.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}
+
+// Add increments the named counter. Nil-safe and safe from pool workers.
+func (s *Span) Add(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counts == nil {
+		s.counts = make(map[string]int64, 8)
+	}
+	s.counts[key] += n
+	s.mu.Unlock()
+}
+
+// Wall returns the frozen duration, or the running elapsed time before End.
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.ended {
+		return s.wall
+	}
+	return time.Since(s.Start)
+}
+
+// Count returns the named counter's value (0 when absent or s is nil).
+func (s *Span) Count(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[key]
+}
+
+// Counts returns a copy of the counters.
+func (s *Span) Counts() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Attrs returns a copy of the ordered annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the child list in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and its descendants depth-first, reporting each
+// node's depth (the receiver is depth 0). Nil-safe.
+func (s *Span) Walk(fn func(depth int, s *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(depth int, s *Span)) {
+	fn(depth, s)
+	for _, c := range s.Children() {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Render formats the span tree as indented text, one span per line with its
+// wall time, annotations and sorted counters:
+//
+//	query 1.82ms
+//	  parse 103µs
+//	  flwr 1.64ms pattern=P doc=db
+//	    selection 1.2ms [cand_baseline=840 items=64 matches=90 workers=8]
+//
+// Nil-safe (returns ""); safe to call while counters are still moving,
+// though the intended use is after End.
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.Walk(func(depth int, sp *Span) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(sp.Name)
+		fmt.Fprintf(&b, " %v", sp.Wall().Round(time.Microsecond))
+		for _, a := range sp.Attrs() {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+		}
+		counts := sp.Counts()
+		if len(counts) > 0 {
+			keys := make([]string, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString(" [")
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s=%d", k, counts[k])
+			}
+			b.WriteByte(']')
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// SlowQueryRecord is what the engine hands to its slow-query log hook when
+// a query's wall time crosses the configured threshold.
+type SlowQueryRecord struct {
+	// Wall is the query's total wall time.
+	Wall time.Duration
+	// Statements is the number of program statements executed.
+	Statements int
+	// Err is the query's terminal error, nil on success.
+	Err error
+	// Trace is the query's root span when tracing was enabled, else nil.
+	Trace *Span
+}
+
+// String renders the record in one log line (plus the trace tree when
+// present).
+func (r SlowQueryRecord) String() string {
+	msg := fmt.Sprintf("slow query: wall=%v statements=%d err=%v", r.Wall, r.Statements, r.Err)
+	if r.Trace != nil {
+		msg += "\n" + r.Trace.Render()
+	}
+	return msg
+}
+
+// ctxKey is the context key carrying the current span.
+type ctxKey struct{}
+
+// NewContext returns a context carrying s as the current span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span, or nil when ctx is nil or carries
+// none — the signal that tracing is disabled.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's current span and returns a
+// context carrying the child. When tracing is disabled it returns ctx
+// unchanged and a nil span; all Span methods tolerate the nil.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name)
+	return NewContext(ctx, c), c
+}

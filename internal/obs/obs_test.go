@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanSafety(t *testing.T) {
+	var s *Span
+	// Every method must tolerate a nil receiver (the tracing-disabled path).
+	if c := s.StartChild("x"); c != nil {
+		t.Fatalf("nil.StartChild = %v, want nil", c)
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	s.Add("n", 1)
+	if s.Wall() != 0 || s.Count("n") != 0 || s.Counts() != nil ||
+		s.Attrs() != nil || s.Children() != nil || s.Render() != "" {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	s.Walk(func(int, *Span) { t.Fatal("nil.Walk must not visit") })
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewTrace("query")
+	a := root.StartChild("parse")
+	a.End()
+	b := root.StartChild("flwr")
+	b.SetAttr("pattern", "P")
+	b.Add("items", 3)
+	b.Add("items", 4)
+	c := b.StartChild("selection")
+	c.End()
+	b.End()
+	root.End()
+
+	if got := b.Count("items"); got != 7 {
+		t.Fatalf("Count(items) = %d, want 7", got)
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name != "parse" || kids[1].Name != "flwr" {
+		t.Fatalf("children = %v", kids)
+	}
+	var visited []string
+	depths := map[string]int{}
+	root.Walk(func(d int, s *Span) {
+		visited = append(visited, s.Name)
+		depths[s.Name] = d
+	})
+	want := []string{"query", "parse", "flwr", "selection"}
+	if strings.Join(visited, ",") != strings.Join(want, ",") {
+		t.Fatalf("walk order = %v, want %v", visited, want)
+	}
+	if depths["query"] != 0 || depths["selection"] != 2 {
+		t.Fatalf("depths = %v", depths)
+	}
+
+	out := root.Render()
+	for _, frag := range []string{"query", "  parse", "  flwr", "pattern=P", "[items=7]", "    selection"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestEndFreezesWall(t *testing.T) {
+	s := NewTrace("q")
+	s.End()
+	w := s.Wall()
+	time.Sleep(2 * time.Millisecond)
+	if s.Wall() != w {
+		t.Fatal("Wall changed after End")
+	}
+	s.End() // second End keeps the first duration
+	if s.Wall() != w {
+		t.Fatal("second End overwrote the frozen duration")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) must be nil")
+	}
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("bare context must carry no span")
+	}
+	// Disabled: StartSpan is a no-op.
+	ctx2, sp := StartSpan(ctx, "op")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a trace must return ctx unchanged and a nil span")
+	}
+	// Enabled: children chain through the context.
+	root := NewTrace("q")
+	ctx = NewContext(ctx, root)
+	if FromContext(ctx) != root {
+		t.Fatal("FromContext must return the installed span")
+	}
+	cctx, child := StartSpan(ctx, "op")
+	if child == nil || FromContext(cctx) != child {
+		t.Fatal("StartSpan must install the child")
+	}
+	if kids := root.Children(); len(kids) != 1 || kids[0] != child {
+		t.Fatalf("root children = %v", kids)
+	}
+}
+
+// TestConcurrentAddAndChildren exercises the worker-facing mutators from
+// many goroutines — the shared-sink shape of concurrently running
+// operators (run under -race in CI).
+func TestConcurrentAddAndChildren(t *testing.T) {
+	root := NewTrace("q")
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.StartChild("op")
+			for i := 0; i < 100; i++ {
+				root.Add("n", 1)
+				sp.Add("n", 1)
+			}
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := root.Count("n"); got != workers*100 {
+		t.Fatalf("root count = %d, want %d", got, workers*100)
+	}
+	if got := len(root.Children()); got != workers {
+		t.Fatalf("children = %d, want %d", got, workers)
+	}
+}
+
+func TestSlowQueryRecordString(t *testing.T) {
+	root := NewTrace("query")
+	root.End()
+	r := SlowQueryRecord{Wall: time.Second, Statements: 3, Trace: root}
+	s := r.String()
+	if !strings.Contains(s, "wall=1s") || !strings.Contains(s, "statements=3") ||
+		!strings.Contains(s, "query") {
+		t.Fatalf("record string = %q", s)
+	}
+	if s2 := (SlowQueryRecord{Wall: time.Millisecond}).String(); strings.Contains(s2, "\n") {
+		t.Fatalf("traceless record must be one line, got %q", s2)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gqldb/internal/obs"
 )
 
 // chunk is the number of consecutive indices a worker claims per atomic
@@ -51,6 +53,9 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// One registry update per bulk-operator execution — never per item.
+	obs.PoolRuns.Inc()
+	obs.PoolTasks.Add(int64(n))
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()

@@ -59,6 +59,66 @@ type SelectStmt struct {
 	Where []Cond
 }
 
+// String renders the literal in the lexer's syntax: strings with ''-escaped
+// quotes, and floats always with a decimal point so the Int/Float kind
+// survives a reparse.
+func (l *Literal) String() string {
+	switch {
+	case l.IsStr:
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	case l.IsInt:
+		return strconv.FormatInt(l.Int, 10)
+	default:
+		s := strconv.FormatFloat(l.Float, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	}
+}
+
+func (o Operand) String() string {
+	if o.Col != nil {
+		return o.Col.String()
+	}
+	return o.Lit.String()
+}
+
+func (c Cond) String() string { return c.L.String() + " " + c.Op + " " + c.R.String() }
+
+// String renders the statement back into the parsed subset. The rendering
+// always spells the AS keyword and the trailing semicolon, so
+// ParseSQL(st.String()) reproduces st exactly (the fuzzer's round-trip
+// invariant).
+func (st *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, c := range st.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(" FROM ")
+	for i, f := range st.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Table + " AS " + f.Alias)
+	}
+	if len(st.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range st.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
 // sqlToken kinds.
 type sqlTokKind uint8
 
@@ -98,13 +158,25 @@ func sqlLex(src string) ([]sqlTok, error) {
 			out = append(out, sqlTok{sqlNumber, src[i:j]})
 			i = j
 		case c == '\'':
+			// A doubled quote inside the literal is an escaped quote
+			// (standard SQL), matching what PatternToSQL emits.
 			j := i + 1
 			var b strings.Builder
-			for j < len(src) && src[j] != '\'' {
+			closed := false
+			for j < len(src) {
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
 				b.WriteByte(src[j])
 				j++
 			}
-			if j >= len(src) {
+			if !closed {
 				return nil, fmt.Errorf("sqlbase: unterminated string literal")
 			}
 			out = append(out, sqlTok{sqlString, b.String()})

@@ -207,6 +207,67 @@ func TestAgainstNativeMatcher(t *testing.T) {
 	}
 }
 
+// TestQuotedLabelRoundTrip: labels containing single quotes must survive
+// the PatternToSQL → ParseSQL bridge. PatternToSQL always emitted the
+// standard '' escape, but the lexer used to stop at the first quote, so
+// MatchPattern failed on any label with an apostrophe.
+func TestQuotedLabelRoundTrip(t *testing.T) {
+	g := graph.New("G")
+	a := g.AddNode("a", graph.TupleOf("", "label", "O'Brien"))
+	b := g.AddNode("b", graph.TupleOf("", "label", "it's"))
+	g.AddNode("c", graph.TupleOf("", "label", "plain"))
+	g.AddEdge("", a, b, nil)
+
+	p := pattern.New("P")
+	pa := p.LabelNode("x", "O'Brien")
+	pb := p.LabelNode("y", "it's")
+	p.AddEdge("", pa, pb, nil, nil)
+
+	q, err := PatternToSQL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q, "'O''Brien'") {
+		t.Fatalf("PatternToSQL must ''-escape quotes:\n%s", q)
+	}
+	if _, err := ParseSQL(q); err != nil {
+		t.Fatalf("bridge output does not parse: %v\n%s", err, q)
+	}
+
+	db := NewDB()
+	if err := db.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.MatchPattern(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, _, err := match.Find(p, g, nil, match.Options{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(native) != 1 {
+		t.Fatalf("SQL %d rows, native %d matches, want 1 each", len(rows), len(native))
+	}
+}
+
+func TestParseSQLEscapedQuote(t *testing.T) {
+	st, err := ParseSQL(`SELECT v.x FROM V AS v WHERE v.x = 'a''b' AND v.x <> '''';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Where[0].R.Lit.Str; got != "a'b" {
+		t.Errorf("escaped literal = %q, want %q", got, "a'b")
+	}
+	if got := st.Where[1].R.Lit.Str; got != "'" {
+		t.Errorf("double-escape literal = %q, want %q", got, "'")
+	}
+	// A lone trailing escape is an unterminated literal, not an empty one.
+	if _, err := ParseSQL(`SELECT v.x FROM V AS v WHERE v.x = ''';`); err == nil {
+		t.Error("dangling escape must be an unterminated-literal error")
+	}
+}
+
 func TestExecLimit(t *testing.T) {
 	db := NewDB()
 	v := NewTable("V", "vid", "label")
