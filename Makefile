@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet gqlvet fuzz-smoke bench-obs check
+.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs check
 
 all: check
 
@@ -12,8 +12,17 @@ build:
 test:
 	$(GO) test ./...
 
+## test-server: black-box gate for cmd/gqlserver — builds the binary,
+## starts it on a random port with documents loaded from disk, and
+## drives /query (byte-identical to the embedded engine), /explain,
+## /metrics, /healthz, overload -> 429, a deadline -> JSON timeout, and
+## a SIGTERM drain that must exit 0 within the grace period
+test-server:
+	$(GO) test ./internal/server -run TestServerBlackBox -v
+
 ## race: run the tests under the race detector (includes the
-## ParallelSelection work-stealing stress tests)
+## ParallelSelection work-stealing stress tests and the shared-engine
+## HTTP handler stress in internal/server)
 race:
 	$(GO) test -race ./...
 
@@ -26,15 +35,16 @@ vet:
 gqlvet:
 	$(GO) run ./cmd/gqlvet ./...
 
-## fuzz-smoke: brief fuzz of the parsers and the binary/TSV graph
-## readers (panics are failures); run longer locally when touching
-## internal/lexer, internal/parser, internal/sqlbase or the
-## internal/graph load paths
+## fuzz-smoke: brief fuzz of the parsers, the binary/TSV graph readers
+## and the expression evaluator (panics are failures); run longer
+## locally when touching internal/lexer, internal/parser,
+## internal/sqlbase, internal/expr or the internal/graph load paths
 fuzz-smoke:
 	$(GO) test ./internal/parser -run FuzzParse -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/graph -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime 5s
 	$(GO) test ./internal/graph -run FuzzReadTSV -fuzz FuzzReadTSV -fuzztime 5s
 	$(GO) test ./internal/sqlbase -run FuzzParseSQL -fuzz FuzzParseSQL -fuzztime 5s
+	$(GO) test ./internal/expr -run FuzzEval -fuzz FuzzEval -fuzztime 10s
 
 ## bench-obs: tracing-overhead guard — the off variant must stay within
 ## noise of BenchmarkParallelExec (observability disabled is one context
@@ -43,4 +53,4 @@ bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkTracingOverhead|BenchmarkParallelExec' -benchtime 1x .
 
 ## check: everything CI runs
-check: build vet gqlvet test race fuzz-smoke
+check: build vet gqlvet test test-server race fuzz-smoke

@@ -1,0 +1,169 @@
+// Command gqlserver serves GraphQL (He & Singh) queries over HTTP: the
+// production frontend over the embedded query engine.
+//
+// Usage:
+//
+//	gqlserver -addr :8080 -doc name=file.tsv [-doc name2=file2.gql] \
+//	    [-workers N] [-max-inflight N] [-timeout 30s] [-max-body 1048576] \
+//	    [-grace 10s] [-slow 100ms]
+//
+// Documents are loaded at startup from TSV exchange files (a single large
+// graph), .bin binary collections, or .gql text files (a sequence of graph
+// literals), exactly as in gqlshell. Endpoints:
+//
+//	POST /query    {"query": "...", "timeout_ms": 0, "workers": 0} or a raw
+//	               program body; JSON results
+//	POST /explain  same request shape; JSON span tree + per-operator table
+//	GET  /metrics  Prometheus text dump
+//	GET  /debug/vars  expvar
+//	GET  /healthz  liveness, drain state, in-flight count
+//
+// On SIGTERM/SIGINT the server drains: admission stops (new queries get
+// 503, /healthz flips to 503 draining), in-flight queries get up to -grace
+// to finish, stragglers are context-cancelled, a final metrics snapshot is
+// written to stderr, and the process exits 0 on a clean drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"gqldb/internal/ast"
+	"gqldb/internal/exec"
+	"gqldb/internal/graph"
+	"gqldb/internal/obs"
+	"gqldb/internal/parser"
+	"gqldb/internal/server"
+	"time"
+)
+
+// docFlags collects repeated -doc name=path flags.
+type docFlags map[string]string
+
+func (d docFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d docFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("expected name=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+func main() {
+	docs := docFlags{}
+	flag.Var(docs, "doc", "document binding name=path (repeatable; .tsv, .bin or .gql)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "default for-clause fan-out (0/1 serial, negative GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "admitted-query limit; excess requests get 429 (0 = 2×GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes; larger bodies get 413")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
+	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables; e.g. 100ms)")
+	flag.Parse()
+
+	eng := exec.New(exec.Store{})
+	eng.Workers = *workers
+	eng.SlowQuery = *slow
+	eng.SlowQueryLog = func(r obs.SlowQueryRecord) { log.Printf("gqlserver: %s", r) }
+
+	srv := server.New(server.Config{
+		Engine:      eng,
+		MaxInflight: *maxInflight,
+		MaxBody:     *maxBody,
+		Timeout:     *timeout,
+		MaxTimeout:  *maxTimeout,
+	})
+	for name, path := range docs {
+		coll, err := loadDoc(path)
+		if err != nil {
+			fail("loading %s: %v", path, err)
+		}
+		srv.RegisterDoc(name, coll)
+		log.Printf("gqlserver: loaded document %s from %s (%d graphs)", name, path, len(coll))
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen %s: %v", *addr, err)
+	}
+	log.Printf("gqlserver: listening on %s", l.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("gqlserver: received %v, draining (grace %v, %d in flight)", s, *grace, srv.Inflight())
+		err := srv.Drain(hs, *grace, func() error {
+			log.Printf("gqlserver: final metrics snapshot")
+			return obs.WritePrometheus(os.Stderr)
+		})
+		if err != nil {
+			log.Printf("gqlserver: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("gqlserver: drained cleanly")
+	case err := <-errc:
+		fail("serve: %v", err)
+	}
+}
+
+// loadDoc reads a document: .tsv is one large graph, .bin a binary
+// collection; anything else is parsed as a sequence of graph literals.
+func loadDoc(path string) (graph.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tsv") {
+		g, err := graph.ReadTSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewCollection(g), nil
+	}
+	if strings.HasSuffix(path, ".bin") {
+		return graph.ReadBinary(f)
+	}
+	src, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	var coll graph.Collection
+	for _, s := range prog.Stmts {
+		d, ok := s.(*ast.GraphDecl)
+		if !ok {
+			return nil, fmt.Errorf("%s: documents may contain only graph literals", path)
+		}
+		g, err := d.ToGraph()
+		if err != nil {
+			return nil, err
+		}
+		coll = append(coll, g)
+	}
+	return coll, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gqlserver: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 
 	"gqldb/internal/algebra"
 	"gqldb/internal/ast"
@@ -41,6 +42,7 @@ import (
 	"gqldb/internal/parser"
 	"gqldb/internal/pattern"
 	"gqldb/internal/reach"
+	"gqldb/internal/server"
 )
 
 // Core data-model types.
@@ -116,6 +118,20 @@ type (
 	// SlowQueryRecord is handed to Engine.SlowQueryLog when a query crosses
 	// Engine.SlowQuery.
 	SlowQueryRecord = obs.SlowQueryRecord
+	// RequestOptions are per-request overrides for a shared Engine; see
+	// Engine.Request.
+	RequestOptions = exec.RequestOptions
+	// ServerConfig configures the HTTP query frontend (admission limit,
+	// body cap, per-request deadlines, access logging).
+	ServerConfig = server.Config
+	// Server is the HTTP query frontend over an Engine: POST /query,
+	// POST /explain, GET /metrics, /debug/vars and /healthz, with
+	// admission control and graceful drain. See cmd/gqlserver for the
+	// production binary.
+	Server = server.Server
+	// AccessRecord is one structured access-log entry emitted by the
+	// server's request middleware.
+	AccessRecord = server.AccessRecord
 )
 
 // Graph constructors.
@@ -335,10 +351,20 @@ func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
 // tracing is disabled. All Span methods are nil-safe.
 func TraceFromContext(ctx context.Context) *Span { return obs.FromContext(ctx) }
 
-// WriteMetrics dumps the process-wide query metrics (counters and latency
-// histograms, also published via expvar under "gqldb") in the Prometheus
-// text exposition format.
+// WriteMetrics dumps the process-wide query metrics (counters, latency
+// histograms and per-worker pool utilization, also published via expvar
+// under "gqldb") in the Prometheus text exposition format.
 func WriteMetrics(w io.Writer) error { return obs.WritePrometheus(w) }
+
+// MetricsHandler returns an http.Handler serving WriteMetrics — mount it
+// on /metrics to expose the process to a Prometheus scraper.
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// NewServer returns the HTTP query frontend over cfg.Engine. The Server
+// is itself an http.Handler serving POST /query, POST /explain,
+// GET /metrics, GET /debug/vars and GET /healthz; pair it with
+// Server.Drain for signal-driven graceful shutdown (see cmd/gqlserver).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // MetricsSnapshot returns the current value of every process-wide metric:
 // counters as int64, histograms as {count, sum_seconds} maps.

@@ -1,6 +1,10 @@
 package gqldb
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -143,5 +147,39 @@ func TestFacadeReachability(t *testing.T) {
 	}
 	if pairs := rx.PathPairs("A", "C"); len(pairs) != 1 {
 		t.Errorf("PathPairs = %v", pairs)
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	store := Store{}
+	g := NewGraph("G")
+	g.AddNode("a", TupleOf("author", "name", "Ann"))
+	store["DBLP"] = Collection{g}
+
+	srv := NewServer(ServerConfig{Engine: NewEngine(store)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "text/plain",
+		strings.NewReader(`for graph Q { node v1 <author>; } exhaustive in doc("DBLP") return graph { node Q.v1; };`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "Ann") {
+		t.Fatalf("query = %d %s", resp.StatusCode, body)
+	}
+
+	mts := httptest.NewServer(MetricsHandler())
+	defer mts.Close()
+	mresp, err := http.Get(mts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "gqldb_queries_total") {
+		t.Fatalf("metrics handler output missing counters:\n%s", mbody)
 	}
 }

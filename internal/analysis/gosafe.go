@@ -20,6 +20,10 @@ var unsafeInGoroutine = map[string]map[string]bool{
 	// from pool workers corrupts the trace even though Add/StartChild are
 	// locked and worker-safe.
 	"internal/obs.Span": {"End": true, "SetAttr": true},
+	// RegisterDoc writes the engine's Store map with no lock; it is a
+	// startup-only call by contract, before the listener accepts request
+	// goroutines that read the same map.
+	"internal/server.Server": {"RegisterDoc": true},
 }
 
 // GoSafe inspects goroutine bodies (as in algebra.ParallelSelection) for

@@ -1,0 +1,40 @@
+// Package server is analyzer corpus: a miniature stand-in for
+// gqldb/internal/server whose RegisterDoc mutates the engine's document
+// map without a lock. The real method is startup-only by contract — it
+// must run before the listener starts request goroutines that read the
+// same map — so any call from inside a goroutine is a race.
+package server
+
+import "gqldb/internal/graph"
+
+// Server mimics the HTTP frontend's registration surface.
+type Server struct {
+	docs map[string][]*graph.Graph
+}
+
+// RegisterDoc installs a document collection. Unlocked map write:
+// coordinator-only, before serving starts.
+func (s *Server) RegisterDoc(name string, coll []*graph.Graph) {
+	if s.docs == nil {
+		s.docs = map[string][]*graph.Graph{}
+	}
+	s.docs[name] = coll
+}
+
+// RacyRegister loads documents from a background goroutine while the
+// server may already be serving: flagged.
+func RacyRegister(s *Server, coll []*graph.Graph) {
+	ch := make(chan struct{})
+	go func() {
+		s.RegisterDoc("DBLP", coll) // want:gosafe `non-thread-safe internal/server.Server.RegisterDoc`
+		close(ch)
+	}()
+	<-ch
+}
+
+// StartupRegister registers on the coordinating goroutine before any
+// request goroutine exists: allowed.
+func StartupRegister(s *Server, coll []*graph.Graph) {
+	s.RegisterDoc("DBLP", coll)
+	s.RegisterDoc("BIG", coll)
+}

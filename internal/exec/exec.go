@@ -62,6 +62,38 @@ type Engine struct {
 	SlowQueryLog func(obs.SlowQueryRecord)
 }
 
+// RequestOptions are the per-request evaluation knobs a server frontend
+// overrides on a shared engine without mutating it: the zero value of each
+// field inherits the engine's setting.
+type RequestOptions struct {
+	// Workers overrides the for-clause fan-out when nonzero (negative means
+	// GOMAXPROCS, as on Engine.Workers).
+	Workers int
+	// Trace enables trace collection for this request.
+	Trace bool
+	// SlowQuery overrides the slow-query threshold when nonzero.
+	SlowQuery time.Duration
+}
+
+// Request returns a request-scoped shallow copy of the engine with o
+// applied. The copy shares the store, indexes and option struct (all of
+// which the engine only reads during evaluation), so concurrent requests
+// may each take their own copy from one shared engine; mutating the copy's
+// fields never races with other requests.
+func (e *Engine) Request(o RequestOptions) *Engine {
+	cp := *e
+	if o.Workers != 0 {
+		cp.Workers = o.Workers
+	}
+	if o.Trace {
+		cp.Trace = true
+	}
+	if o.SlowQuery != 0 {
+		cp.SlowQuery = o.SlowQuery
+	}
+	return &cp
+}
+
 // workerCount resolves Engine.Workers to a pool worker request: the zero
 // value and 1 stay serial, negative asks the pool for GOMAXPROCS.
 func (e *Engine) workerCount() int {

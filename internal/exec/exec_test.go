@@ -2,6 +2,7 @@ package exec
 
 import (
 	"testing"
+	"time"
 
 	"gqldb/internal/gindex"
 	"gqldb/internal/graph"
@@ -277,5 +278,29 @@ func TestCollectionIndexFiltering(t *testing.T) {
 	}
 	if len(indexed.Out) != len(plain.Out) {
 		t.Fatalf("index changed results: %d vs %d", len(indexed.Out), len(plain.Out))
+	}
+}
+
+func TestEngineRequestScopedOptions(t *testing.T) {
+	base := New(Store{})
+	base.Workers = 2
+	base.SlowQuery = time.Second
+
+	// Zero-value options inherit everything.
+	cp := base.Request(RequestOptions{})
+	if cp == base {
+		t.Fatal("Request must return a copy, not the shared engine")
+	}
+	if cp.Workers != 2 || cp.SlowQuery != time.Second || cp.Trace {
+		t.Fatalf("inherited copy = workers %d slow %v trace %v", cp.Workers, cp.SlowQuery, cp.Trace)
+	}
+
+	// Overrides land on the copy and never touch the shared engine.
+	cp = base.Request(RequestOptions{Workers: -1, Trace: true, SlowQuery: time.Millisecond})
+	if cp.Workers != -1 || !cp.Trace || cp.SlowQuery != time.Millisecond {
+		t.Fatalf("override copy = workers %d slow %v trace %v", cp.Workers, cp.SlowQuery, cp.Trace)
+	}
+	if base.Workers != 2 || base.Trace || base.SlowQuery != time.Second {
+		t.Fatalf("shared engine mutated: workers %d slow %v trace %v", base.Workers, base.SlowQuery, base.Trace)
 	}
 }

@@ -1,0 +1,80 @@
+package expr_test
+
+import (
+	"strings"
+	"testing"
+
+	"gqldb/internal/expr"
+	"gqldb/internal/graph"
+	"gqldb/internal/parser"
+)
+
+// FuzzEval fuzzes the expression evaluator against untrusted attribute
+// values: the expression source comes from the fuzzer AND the environment
+// it evaluates under is populated with fuzzer-chosen values of every kind,
+// so both the operator dispatch (boolean short-circuit, arithmetic,
+// comparison coercion) and the value layer underneath (Arith, Compare,
+// Truthy) see adversarial input. Invariants:
+//
+//   - evaluation never panics (division by zero, overflow, kind mixing and
+//     missing attributes must all come back as values or errors);
+//   - evaluation is deterministic: two runs under the same env agree on
+//     both value and error;
+//   - a parseable expression renders (String) back into parseable source —
+//     the renderer and lexer agree on escaping — and the reparse evaluates
+//     to the same outcome.
+func FuzzEval(f *testing.F) {
+	f.Add(`a.name = "x" & b.year > 2000`, "x", int64(2001), 1.5, true)
+	f.Add(`x + y * 2 - z / 0`, "", int64(7), 0.0, false)
+	f.Add(`(n.a + n.b) / (n.a - n.b) >= n.c | n.flag`, "s", int64(-9223372036854775808), -1.0, true)
+	f.Add(`s + s = s`, "concat", int64(0), 2.5, false)
+	f.Add(`a != b & a <= c & c < d`, "\\\"quoted\\\"", int64(3), 0.25, true)
+	f.Add(`v1.name = "A" & v2.year / v1.year > 1`, "A", int64(1999), 3.5, true)
+
+	f.Fuzz(func(t *testing.T, src, sval string, ival int64, fval float64, bval bool) {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			return
+		}
+
+		// Bind every name the expression mentions to a fuzzer-chosen value,
+		// cycling through the kinds so comparisons and arithmetic see every
+		// mix; unbound lookups resolve to Null by MapEnv's contract.
+		env := expr.MapEnv{}
+		vals := []graph.Value{graph.String(sval), graph.Int(ival), graph.Float(fval), graph.Bool(bval), graph.Null}
+		for i, parts := range expr.Names(e) {
+			env[strings.Join(parts, ".")] = vals[i%len(vals)]
+		}
+
+		v1, err1 := e.Eval(env)
+		v2, err2 := e.Eval(env)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 == nil && v1.String() != v2.String() {
+			t.Fatalf("nondeterministic value: %s vs %s", v1, v2)
+		}
+
+		// Render → reparse → re-evaluate must agree with the original.
+		re, err := parser.ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("rendered expression does not reparse: %q: %v", e.String(), err)
+		}
+		v3, err3 := re.Eval(env)
+		if (err1 == nil) != (err3 == nil) {
+			t.Fatalf("reparse changes error: %v vs %v (src %q)", err1, err3, e.String())
+		}
+		if err1 == nil && v1.String() != v3.String() {
+			t.Fatalf("reparse changes value: %s vs %s (src %q)", v1, v3, e.String())
+		}
+
+		// Holds must agree with Eval's truthiness.
+		h, herr := expr.Holds(e, env)
+		if (herr == nil) != (err1 == nil) {
+			t.Fatalf("Holds error disagrees with Eval: %v vs %v", herr, err1)
+		}
+		if err1 == nil && h != v1.Truthy() {
+			t.Fatalf("Holds = %v, Eval truthiness = %v", h, v1.Truthy())
+		}
+	})
+}

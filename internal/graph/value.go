@@ -153,7 +153,13 @@ func (v Value) String() string {
 	case KindInt:
 		return strconv.FormatInt(v.i, 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		// Whole floats get a ".0" marker so the rendering reparses as a
+		// float, not an int ("5.0/2" must not round-trip into "5/2").
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		if strings.IndexFunc(s, func(r rune) bool { return r != '-' && (r < '0' || r > '9') }) < 0 {
+			s += ".0"
+		}
+		return s
 	case KindString:
 		return strconv.Quote(v.s)
 	case KindBool:

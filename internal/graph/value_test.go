@@ -182,3 +182,23 @@ func TestValueStringQuoting(t *testing.T) {
 		t.Errorf("String() should quote internal quotes: %s", v)
 	}
 }
+
+func TestFloatStringKeepsFloatMarker(t *testing.T) {
+	// Whole floats must not render as bare integers, or a rendered
+	// expression like "5.0/2" reparses as integer division (found by
+	// expr.FuzzEval).
+	for _, tc := range []struct {
+		f    float64
+		want string
+	}{
+		{5.0, "5.0"},
+		{-3.0, "-3.0"},
+		{2.5, "2.5"},
+		{1e-05, "1e-05"},
+		{1e21, "1e+21"},
+	} {
+		if got := Float(tc.f).String(); got != tc.want {
+			t.Errorf("Float(%v).String() = %q, want %q", tc.f, got, tc.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package lexer
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 	"unicode/utf8"
@@ -209,6 +210,24 @@ func (lx *Lexer) number(t Token) (Token, error) {
 			return Token{}, fmt.Errorf("lexer: line %d: malformed number", t.Line)
 		}
 	}
+	// An exponent part also makes it a float, so strconv.FormatFloat's 'g'
+	// renderings ("1e-05") reparse. A bare "1e" with no digits keeps the
+	// old reading: Int followed by an identifier.
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		j := lx.pos + 1
+		if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+			j++
+		}
+		if j < len(lx.src) && lx.src[j] >= '0' && lx.src[j] <= '9' {
+			kind = Float
+			for lx.pos < j {
+				lx.advance(1)
+			}
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.advance(1)
+			}
+		}
+	}
 	t.Kind = kind
 	t.Text = lx.src[start:lx.pos]
 	return t, nil
@@ -233,14 +252,53 @@ func (lx *Lexer) str(t Token) (Token, error) {
 			switch esc {
 			case 'n':
 				b.WriteByte('\n')
+				lx.advance(2)
 			case 't':
 				b.WriteByte('\t')
-			case '"', '\\':
+				lx.advance(2)
+			case 'r':
+				b.WriteByte('\r')
+				lx.advance(2)
+			case 'a':
+				b.WriteByte('\a')
+				lx.advance(2)
+			case 'b':
+				b.WriteByte('\b')
+				lx.advance(2)
+			case 'f':
+				b.WriteByte('\f')
+				lx.advance(2)
+			case 'v':
+				b.WriteByte('\v')
+				lx.advance(2)
+			case '"', '\\', '\'':
 				b.WriteByte(esc)
+				lx.advance(2)
+			case 'x', 'u', 'U':
+				// Go-style numeric escapes, so any strconv.Quote rendering
+				// of a string value (attribute renderers, PatternToSQL,
+				// EXPLAIN output) reparses: \xNN is one raw byte, \uNNNN
+				// and \UNNNNNNNN are runes encoded back to UTF-8.
+				digits := map[byte]int{'x': 2, 'u': 4, 'U': 8}[esc]
+				if lx.pos+2+digits > len(lx.src) {
+					return Token{}, fmt.Errorf("lexer: line %d: truncated escape \\%c", t.Line, esc)
+				}
+				v, err := strconv.ParseUint(lx.src[lx.pos+2:lx.pos+2+digits], 16, 32)
+				if err != nil {
+					return Token{}, fmt.Errorf("lexer: line %d: malformed escape \\%c%s", t.Line, esc, lx.src[lx.pos+2:lx.pos+2+digits])
+				}
+				if esc == 'x' {
+					b.WriteByte(byte(v))
+				} else {
+					if v > unicode.MaxRune || (v >= 0xD800 && v <= 0xDFFF) {
+						return Token{}, fmt.Errorf("lexer: line %d: escape \\%c out of rune range", t.Line, esc)
+					}
+					b.WriteRune(rune(v))
+				}
+				lx.advance(2 + digits)
 			default:
 				return Token{}, fmt.Errorf("lexer: line %d: unknown escape \\%c", t.Line, esc)
 			}
-			lx.advance(2)
 		case '\n':
 			return Token{}, fmt.Errorf("lexer: line %d: newline in string literal", t.Line)
 		default:

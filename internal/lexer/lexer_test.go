@@ -61,6 +61,39 @@ func TestStringsAndEscapes(t *testing.T) {
 	}
 }
 
+// TestGoEscapes covers the strconv.Quote-compatible escape set: anything a
+// value renderer emits for a string attribute must lex back to the same
+// bytes (invariant enforced continuously by expr.FuzzEval).
+func TestGoEscapes(t *testing.T) {
+	_, txt := kinds(t, `"\r\a\b\f\v\'" "\x41\xed" "éA" "\U0001F600"`)
+	want := []string{"\r\a\b\f\v'", "A\xed", "éA", "\U0001F600"}
+	for i, w := range want {
+		if txt[i] != w {
+			t.Errorf("string %d = %q, want %q", i, txt[i], w)
+		}
+	}
+}
+
+func TestExponentFloats(t *testing.T) {
+	ks, txt := kinds(t, `1e-05 2.5E+10 3e7 1e x`)
+	want := []struct {
+		k Kind
+		s string
+	}{
+		{Float, "1e-05"}, {Float, "2.5E+10"}, {Float, "3e7"},
+		// "1e" with no exponent digits keeps the old reading: Int then Ident.
+		{Int, "1"}, {Ident, "e"}, {Ident, "x"}, {EOF, ""},
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(ks), len(want), txt)
+	}
+	for i, w := range want {
+		if ks[i] != w.k || txt[i] != w.s {
+			t.Errorf("token %d = (%v,%q), want (%v,%q)", i, ks[i], txt[i], w.k, w.s)
+		}
+	}
+}
+
 func TestMultiCharPunct(t *testing.T) {
 	_, txt := kinds(t, `:= == != >= <= < > =`)
 	want := []string{":=", "==", "!=", ">=", "<=", "<", ">", "="}
@@ -115,6 +148,10 @@ func TestErrors(t *testing.T) {
 		"@",
 		"1.",
 		`"trailing \`,
+		`"\x4"`,
+		`"\uZZZZ"`,
+		`"\ud800"`,
+		`"\UFFFFFFFF"`,
 	} {
 		if _, err := Tokenize(src); err == nil {
 			t.Errorf("Tokenize(%q): want error", src)

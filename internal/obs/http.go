@@ -1,0 +1,17 @@
+// The HTTP face of the metrics registry: a scrape handler serving the
+// Prometheus text dump. The server frontend mounts it on /metrics (expvar
+// already serves the "gqldb" snapshot var on /debug/vars).
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler serving WritePrometheus — the scrape
+// endpoint for the process-wide metrics registry.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are write failures on the response; the
+		// connection is already broken, nothing to report.
+		_ = WritePrometheus(w)
+	})
+}

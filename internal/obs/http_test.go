@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesPrometheus(t *testing.T) {
+	Queries.Inc()
+	rr := httptest.NewRecorder()
+	Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if body := rr.Body.String(); !strings.Contains(body, "gqldb_queries_total") {
+		t.Fatalf("body missing counter dump:\n%s", body)
+	}
+}

@@ -75,6 +75,58 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNs.Add(int64(d))
 }
 
+// vecSlots is the fixed label space of a Vec: worker ordinals 0..vecSlots-1,
+// with the last slot absorbing any higher ordinal so unbounded worker counts
+// cannot grow the registry.
+const vecSlots = 64
+
+// Vec is a counter vector over a small fixed integer label space (worker
+// ordinals). Every slot is an independent atomic counter; Add clamps the
+// index into range, so callers never bounds-check. A Vec whose seconds flag
+// is set stores nanoseconds and is exposed in seconds.
+type Vec struct {
+	name    string
+	help    string
+	label   string
+	seconds bool
+	slots   [vecSlots]atomic.Int64
+}
+
+// Add increments slot i by n (negative n ignored; i clamped to the label
+// space).
+func (v *Vec) Add(i int, n int64) {
+	if n <= 0 {
+		return
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= vecSlots {
+		i = vecSlots - 1
+	}
+	v.slots[i].Add(n)
+}
+
+// Value returns slot i's raw count (0 outside the label space).
+func (v *Vec) Value(i int) int64 {
+	if i < 0 || i >= vecSlots {
+		return 0
+	}
+	return v.slots[i].Load()
+}
+
+// Name returns the metric name.
+func (v *Vec) Name() string { return v.name }
+
+// each visits every non-zero slot in ordinal order.
+func (v *Vec) each(fn func(i int, n int64)) {
+	for i := range v.slots {
+		if n := v.slots[i].Load(); n != 0 {
+			fn(i, n)
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -105,6 +157,20 @@ var (
 	PoolRuns = newCounter("gqldb_pool_runs_total", "bulk operator executions on the worker pool")
 	// PoolTasks counts individual work items fanned out on the pool.
 	PoolTasks = newCounter("gqldb_pool_tasks_total", "work items fanned out on the worker pool")
+	// PoolWorkerItems counts work items executed per worker ordinal: slot w
+	// is the w-th goroutine of each pool.Run fan-out (slot 0 is also the
+	// serial path), so a skewed distribution means chunks are not
+	// load-balancing.
+	PoolWorkerItems = newVec("gqldb_pool_worker_items_total", "work items executed per pool worker ordinal", "worker", false)
+	// PoolWorkerBusy accumulates the time each worker ordinal spent inside
+	// work functions; utilization is the slot's rate against wall time.
+	PoolWorkerBusy = newVec("gqldb_pool_worker_busy_seconds_total", "time spent executing work items per pool worker ordinal", "worker", true)
+	// HTTPRequests counts requests reaching the server frontend's handlers.
+	HTTPRequests = newCounter("gqldb_http_requests_total", "requests served by the HTTP frontend")
+	// HTTPOverload counts queries rejected by admission control (429).
+	HTTPOverload = newCounter("gqldb_http_overload_rejections_total", "queries rejected by the admission limiter")
+	// HTTPTimeouts counts queries that hit their per-request deadline.
+	HTTPTimeouts = newCounter("gqldb_http_request_timeouts_total", "queries terminated by the per-request deadline")
 	// QuerySeconds is the end-to-end program latency distribution.
 	QuerySeconds = newHistogram("gqldb_query_seconds", "program wall time")
 	// SelectionSeconds is the per-selection-operator latency distribution.
@@ -115,6 +181,7 @@ var (
 var registry struct {
 	mu       sync.Mutex
 	counters []*Counter
+	vecs     []*Vec
 	hists    []*Histogram
 }
 
@@ -124,6 +191,14 @@ func newCounter(name, help string) *Counter {
 	registry.counters = append(registry.counters, c)
 	registry.mu.Unlock()
 	return c
+}
+
+func newVec(name, help, label string, seconds bool) *Vec {
+	v := &Vec{name: name, help: help, label: label, seconds: seconds}
+	registry.mu.Lock()
+	registry.vecs = append(registry.vecs, v)
+	registry.mu.Unlock()
+	return v
 }
 
 func newHistogram(name, help string) *Histogram {
@@ -146,9 +221,20 @@ func init() {
 func Snapshot() map[string]any {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	out := make(map[string]any, len(registry.counters)+len(registry.hists))
+	out := make(map[string]any, len(registry.counters)+len(registry.vecs)+len(registry.hists))
 	for _, c := range registry.counters {
 		out[c.name] = c.Value()
+	}
+	for _, v := range registry.vecs {
+		m := make(map[string]any)
+		v.each(func(i int, n int64) {
+			if v.seconds {
+				m[fmt.Sprint(i)] = time.Duration(n).Seconds()
+			} else {
+				m[fmt.Sprint(i)] = n
+			}
+		})
+		out[v.name] = m
 	}
 	for _, h := range registry.hists {
 		out[h.name] = map[string]any{
@@ -164,12 +250,32 @@ func Snapshot() map[string]any {
 func WritePrometheus(w io.Writer) error {
 	registry.mu.Lock()
 	counters := append([]*Counter(nil), registry.counters...)
+	vecs := append([]*Vec(nil), registry.vecs...)
 	hists := append([]*Histogram(nil), registry.hists...)
 	registry.mu.Unlock()
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			c.name, c.help, c.name, c.name, c.Value()); err != nil {
 			return err
+		}
+	}
+	for _, v := range vecs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name); err != nil {
+			return err
+		}
+		var werr error
+		v.each(func(i int, n int64) {
+			if werr != nil {
+				return
+			}
+			if v.seconds {
+				_, werr = fmt.Fprintf(w, "%s{%s=\"%d\"} %g\n", v.name, v.label, i, time.Duration(n).Seconds())
+			} else {
+				_, werr = fmt.Fprintf(w, "%s{%s=\"%d\"} %d\n", v.name, v.label, i, n)
+			}
+		})
+		if werr != nil {
+			return werr
 		}
 	}
 	for _, h := range hists {

@@ -23,6 +23,63 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestVec(t *testing.T) {
+	v := &Vec{name: "test_vec_total", label: "worker"}
+	v.Add(0, 3)
+	v.Add(2, 1)
+	v.Add(2, -5)           // negative deltas ignored
+	v.Add(-4, 1)           // below the label space clamps to slot 0
+	v.Add(vecSlots+100, 7) // beyond the label space clamps to the last slot
+	if got := v.Value(0); got != 4 {
+		t.Fatalf("Value(0) = %d, want 4", got)
+	}
+	if got := v.Value(2); got != 1 {
+		t.Fatalf("Value(2) = %d, want 1", got)
+	}
+	if got := v.Value(vecSlots - 1); got != 7 {
+		t.Fatalf("Value(last) = %d, want 7", got)
+	}
+	if got := v.Value(vecSlots + 100); got != 0 {
+		t.Fatalf("Value out of range = %d, want 0", got)
+	}
+	var slots []int
+	v.each(func(i int, _ int64) { slots = append(slots, i) })
+	if fmt.Sprint(slots) != fmt.Sprintf("[0 2 %d]", vecSlots-1) {
+		t.Fatalf("each visited %v", slots)
+	}
+}
+
+func TestVecPrometheusAndSnapshot(t *testing.T) {
+	PoolWorkerItems.Add(0, 5)
+	PoolWorkerBusy.Add(0, int64(2*time.Second))
+	var b strings.Builder
+	if err := WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"# TYPE gqldb_pool_worker_items_total counter",
+		`gqldb_pool_worker_items_total{worker="0"}`,
+		`gqldb_pool_worker_busy_seconds_total{worker="0"}`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("WritePrometheus missing %q in:\n%s", frag, out)
+		}
+	}
+	snap := Snapshot()
+	items, ok := snap["gqldb_pool_worker_items_total"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot vec has type %T", snap["gqldb_pool_worker_items_total"])
+	}
+	if n, ok := items["0"].(int64); !ok || n < 5 {
+		t.Fatalf("snapshot slot 0 = %v, want >= 5", items["0"])
+	}
+	busy, _ := snap["gqldb_pool_worker_busy_seconds_total"].(map[string]any)
+	if s, ok := busy["0"].(float64); !ok || s < 2 {
+		t.Fatalf("snapshot busy slot 0 = %v, want seconds >= 2", busy["0"])
+	}
+}
+
 func TestHistogramObserve(t *testing.T) {
 	h := &Histogram{name: "test_seconds", bounds: defBuckets,
 		buckets: make([]atomic.Int64, len(defBuckets)+1)}

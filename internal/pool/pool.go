@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gqldb/internal/obs"
 )
@@ -62,6 +63,14 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) error {
 	}
 	workers = Workers(workers, n)
 	if workers == 1 {
+		// The serial path is busy end to end, so utilization is measured
+		// around the whole loop — one clock read per Run, never per item.
+		executed := 0
+		start := time.Now()
+		defer func() {
+			obs.PoolWorkerItems.Add(0, int64(executed))
+			obs.PoolWorkerBusy.Add(0, int64(time.Since(start)))
+		}()
 		for i := 0; i < n; i++ {
 			if done != nil {
 				select {
@@ -73,6 +82,7 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) error {
 			if err := fn(i); err != nil {
 				return err
 			}
+			executed++
 		}
 		return nil
 	}
@@ -93,6 +103,13 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) error {
 		go func(w int) {
 			defer wg.Done()
 			perWorker[w].idx = -1
+			// Utilization is accumulated per chunk (one clock read per 16
+			// items) and flushed to the registry once per worker per Run.
+			var items, busy int64
+			defer func() {
+				obs.PoolWorkerItems.Add(w, items)
+				obs.PoolWorkerBusy.Add(w, busy)
+			}()
 			for {
 				if stop.Load() {
 					return
@@ -118,13 +135,16 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) error {
 				// stop is set elsewhere: chunks are claimed in ascending
 				// order, so completing every claimed chunk guarantees the
 				// minimum recorded error index equals the serial first error.
+				chunkStart := time.Now()
 				for i := start; i < end; i++ {
 					if err := fn(i); err != nil {
 						perWorker[w] = firstErr{idx: i, err: err}
 						stop.Store(true)
 						break
 					}
+					items++
 				}
+				busy += int64(time.Since(chunkStart))
 			}
 		}(w)
 	}

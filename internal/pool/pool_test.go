@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"gqldb/internal/obs"
 )
 
 func TestRunCoversAllIndicesOnce(t *testing.T) {
@@ -117,5 +120,44 @@ func TestWorkers(t *testing.T) {
 	}
 	if w := Workers(-1, 8); w < 1 || w > 8 {
 		t.Fatalf("Workers(-1,8) = %d", w)
+	}
+}
+
+func TestRunWorkerUtilizationCounters(t *testing.T) {
+	// Serial path: everything lands on worker ordinal 0.
+	items0 := obs.PoolWorkerItems.Value(0)
+	busy0 := obs.PoolWorkerBusy.Value(0)
+	if err := Run(context.Background(), 10, 1, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.PoolWorkerItems.Value(0) - items0; got != 10 {
+		t.Fatalf("serial items delta = %d, want 10", got)
+	}
+	if got := obs.PoolWorkerBusy.Value(0) - busy0; got < int64(10*time.Millisecond) {
+		t.Fatalf("serial busy delta = %v, want >= 10ms", time.Duration(got))
+	}
+
+	// Parallel path: the deltas across all worker ordinals must sum to the
+	// item count, and every busy delta is nonnegative.
+	const workers, n = 4, 64
+	var before [workers]int64
+	for w := 0; w < workers; w++ {
+		before[w] = obs.PoolWorkerItems.Value(w)
+	}
+	if err := Run(context.Background(), n, workers, func(i int) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for w := 0; w < workers; w++ {
+		total += obs.PoolWorkerItems.Value(w) - before[w]
+	}
+	if total != n {
+		t.Fatalf("parallel items delta sum = %d, want %d", total, n)
 	}
 }

@@ -1,0 +1,295 @@
+// The request handlers and their JSON wire shapes. Both query endpoints
+// accept either a raw GraphQL program as the body or a JSON envelope
+// ({"query": ..., "timeout_ms": ..., "workers": ...}); responses are JSON
+// with graphs rendered in the language's text syntax, byte-identical to
+// what the embedded engine produces for the same program.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"gqldb/internal/exec"
+	"gqldb/internal/obs"
+	"gqldb/internal/parser"
+)
+
+// queryRequest is the JSON envelope of /query and /explain.
+type queryRequest struct {
+	// Query is the GraphQL program source.
+	Query string `json:"query"`
+	// TimeoutMS overrides the server's default per-request deadline
+	// (capped at Config.MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers overrides the engine's for-clause fan-out for this request
+	// (negative means GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// queryResponse is the success shape of /query.
+type queryResponse struct {
+	// Results are the return-clause graphs in output order, rendered in the
+	// language's text syntax.
+	Results []string `json:"results"`
+	// Vars are the final graph variables by name, rendered likewise.
+	Vars map[string]string `json:"vars,omitempty"`
+	// WallMS is the query's server-side wall time.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// opStat is one per-operator execution record of /explain.
+type opStat struct {
+	Op      string  `json:"op"`
+	Items   int     `json:"items"`
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// spanJSON is one trace-span node of /explain.
+type spanJSON struct {
+	Name     string           `json:"name"`
+	WallMS   float64          `json:"wall_ms"`
+	Attrs    []attrJSON       `json:"attrs,omitempty"`
+	Counts   map[string]int64 `json:"counts,omitempty"`
+	Children []spanJSON       `json:"children,omitempty"`
+}
+
+type attrJSON struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// explainResponse is the success shape of /explain.
+type explainResponse struct {
+	// Trace is the evaluation span tree.
+	Trace *spanJSON `json:"trace"`
+	// Render is the tree in the human-readable indented text form.
+	Render string `json:"render"`
+	// Operators is the per-operator table (bulk operators in execution
+	// order).
+	Operators []opStat `json:"operators,omitempty"`
+	// Results counts the graphs the program produced (the graphs themselves
+	// are /query's business).
+	Results int     `json:"results"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// errorResponse is every error shape: {"error": {"code": ..., "message": ...}}.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeJSON writes v with status; encoding errors past the header are
+// connection failures and are dropped.
+func writeJSON(w *statusWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the JSON error shape and records the code for the
+// access log.
+func writeError(w *statusWriter, status int, code, msg string) {
+	w.code = code
+	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: msg}})
+}
+
+// readRequest reads the capped body and decodes the envelope: a JSON
+// content type gets the full envelope, anything else is a raw program.
+func (s *Server) readRequest(w *statusWriter, r *http.Request) (queryRequest, bool) {
+	var req queryRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		}
+		return req, false
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "decoding JSON envelope: "+err.Error())
+			return req, false
+		}
+	} else {
+		req.Query = string(body)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty query")
+		return req, false
+	}
+	return req, true
+}
+
+// timeout resolves the request's deadline against the server's default and
+// cap.
+func (s *Server) timeout(req queryRequest) time.Duration {
+	d := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// runRequest is the shared body of /query and /explain: admission, body
+// decode, deadline, parse, evaluate. It returns the result, the wall time
+// and the parsed-and-run flag; on false the error response is already
+// written.
+func (s *Server) runRequest(w *statusWriter, r *http.Request, trace bool) (*exec.Result, time.Duration, bool) {
+	release, ok := s.admit(w)
+	if !ok {
+		return nil, 0, false
+	}
+	defer release()
+
+	req, ok := s.readRequest(w, r)
+	if !ok {
+		return nil, 0, false
+	}
+
+	prog, err := parser.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
+		return nil, 0, false
+	}
+
+	// The request context descends from the server's base context (so a
+	// drain past its grace period cancels it) with the per-request deadline
+	// applied; client disconnect propagates via AfterFunc.
+	ctx, cancel := context.WithTimeout(s.base, s.timeout(req))
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+
+	eng := s.engine.Request(exec.RequestOptions{Workers: req.Workers, Trace: trace})
+	start := time.Now()
+	res, err := eng.RunContext(ctx, prog)
+	wall := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			obs.HTTPTimeouts.Inc()
+			writeError(w, http.StatusGatewayTimeout, "timeout",
+				fmt.Sprintf("query exceeded its deadline of %v", s.timeout(req)))
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "canceled", "query canceled: "+err.Error())
+		default:
+			writeError(w, http.StatusUnprocessableEntity, "eval_error", err.Error())
+		}
+		return nil, 0, false
+	}
+	return res, wall, true
+}
+
+// handleQuery serves POST /query.
+func (s *Server) handleQuery(w *statusWriter, r *http.Request) {
+	res, wall, ok := s.runRequest(w, r, false)
+	if !ok {
+		return
+	}
+	out := queryResponse{
+		Results: make([]string, len(res.Out)),
+		WallMS:  float64(wall) / float64(time.Millisecond),
+	}
+	for i, g := range res.Out {
+		out.Results[i] = g.String()
+	}
+	if len(res.Vars) > 0 {
+		out.Vars = make(map[string]string, len(res.Vars))
+		for name, g := range res.Vars {
+			out.Vars[name] = g.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExplain serves POST /explain: the program runs with tracing
+// enabled and the response is the observability view — span tree, rendered
+// tree and per-operator table.
+func (s *Server) handleExplain(w *statusWriter, r *http.Request) {
+	res, wall, ok := s.runRequest(w, r, true)
+	if !ok {
+		return
+	}
+	out := explainResponse{
+		Trace:   spanToJSON(res.Trace),
+		Render:  res.Trace.Render(),
+		Results: len(res.Out),
+		WallMS:  float64(wall) / float64(time.Millisecond),
+	}
+	if res.Stats != nil {
+		for _, op := range res.Stats.Ops {
+			out.Operators = append(out.Operators, opStat{
+				Op: op.Op, Items: op.Items, Workers: op.Workers,
+				WallMS: float64(op.Wall) / float64(time.Millisecond),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// spanToJSON converts a span tree to the wire shape.
+func spanToJSON(sp *obs.Span) *spanJSON {
+	if sp == nil {
+		return nil
+	}
+	out := &spanJSON{
+		Name:   sp.Name,
+		WallMS: float64(sp.Wall()) / float64(time.Millisecond),
+		Counts: sp.Counts(),
+	}
+	if len(out.Counts) == 0 {
+		out.Counts = nil
+	}
+	for _, a := range sp.Attrs() {
+		out.Attrs = append(out.Attrs, attrJSON{Key: a.Key, Val: a.Val})
+	}
+	for _, c := range sp.Children() {
+		out.Children = append(out.Children, *spanToJSON(c))
+	}
+	return out
+}
+
+// healthResponse is the /healthz shape.
+type healthResponse struct {
+	Status   string   `json:"status"` // "ok" or "draining"
+	Inflight int64    `json:"inflight"`
+	Docs     []string `json:"docs,omitempty"`
+}
+
+// handleHealthz serves GET /healthz: 200 ok while accepting, 503 once
+// draining, with the in-flight query count and the loaded document names.
+func (s *Server) handleHealthz(w *statusWriter, r *http.Request) {
+	docs := make([]string, 0, len(s.engine.Store))
+	for name := range s.engine.Store {
+		docs = append(docs, name)
+	}
+	sort.Strings(docs)
+	out := healthResponse{Status: "ok", Inflight: s.inflight.Load(), Docs: docs}
+	status := http.StatusOK
+	if s.draining.Load() {
+		out.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"gqldb/internal/obs"
+)
+
+// TestServerHandlerRace hammers one shared Engine and one shared
+// slow-query sink through the HTTP handlers from many goroutines, mixing
+// worker overrides above the match count (workers=16 over 5 matches) with
+// the serial path (workers=1), plus /explain requests that each build a
+// trace tree over the same engine. Run under -race this is the server's
+// shared-mutator stress test; every response must be byte-identical to the
+// serial result.
+func TestServerHandlerRace(t *testing.T) {
+	var sinkMu sync.Mutex
+	slow := 0
+	_, ts := newTestServer(t, func(c *Config) {
+		// Admission must never reject during the stress run.
+		c.MaxInflight = 64
+		// Every query crosses a 1ns slow-query threshold, so the shared
+		// sink fires concurrently from all request goroutines.
+		c.Engine.SlowQuery = time.Nanosecond
+		c.Engine.SlowQueryLog = func(obs.SlowQueryRecord) {
+			sinkMu.Lock()
+			slow++
+			sinkMu.Unlock()
+		}
+	})
+
+	// Serial oracle.
+	var oracle queryResponse
+	if resp := postJSON(t, ts.URL+"/query", queryRequest{Query: authorsQuery, Workers: 1}, &oracle); resp.StatusCode != 200 {
+		t.Fatalf("oracle status = %d", resp.StatusCode)
+	}
+	want := fmt.Sprint(oracle.Results)
+
+	const goroutines = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				workers := 16 // far above the 5-match fan-out
+				if (g+r)%2 == 0 {
+					workers = 1
+				}
+				if g%3 == 2 {
+					var out explainResponse
+					resp, err := http.Post(ts.URL+"/explain", "application/json",
+						jsonBody(queryRequest{Query: authorsQuery, Workers: workers}))
+					if err != nil {
+						errs <- err
+						continue
+					}
+					json.NewDecoder(resp.Body).Decode(&out)
+					resp.Body.Close()
+					if resp.StatusCode != 200 || out.Trace == nil || out.Results != 5 {
+						errs <- fmt.Errorf("explain: status %d results %d", resp.StatusCode, out.Results)
+					}
+					continue
+				}
+				var out queryResponse
+				resp, err := http.Post(ts.URL+"/query", "application/json",
+					jsonBody(queryRequest{Query: authorsQuery, Workers: workers}))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("query: status %d", resp.StatusCode)
+					continue
+				}
+				if got := fmt.Sprint(out.Results); got != want {
+					errs <- fmt.Errorf("workers=%d results diverge:\n got %s\nwant %s", workers, got, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if slow < goroutines*rounds {
+		t.Fatalf("shared slow-query sink saw %d records, want >= %d", slow, goroutines*rounds)
+	}
+}
+
+// jsonBody marshals v for http.Post.
+func jsonBody(v any) *bytes.Reader {
+	b, _ := json.Marshal(v)
+	return bytes.NewReader(b)
+}
