@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs check
+.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs bench-store check
 
 all: check
 
@@ -35,22 +35,30 @@ vet:
 gqlvet:
 	$(GO) run ./cmd/gqlvet ./...
 
-## fuzz-smoke: brief fuzz of the parsers, the binary/TSV graph readers
-## and the expression evaluator (panics are failures); run longer
-## locally when touching internal/lexer, internal/parser,
-## internal/sqlbase, internal/expr or the internal/graph load paths
+## fuzz-smoke: brief fuzz of the parsers, the binary/TSV graph readers,
+## the expression evaluator and the HTTP query frontend (panics and 500s
+## are failures); run longer locally when touching internal/lexer,
+## internal/parser, internal/sqlbase, internal/expr, internal/server or
+## the internal/graph load paths
 fuzz-smoke:
 	$(GO) test ./internal/parser -run FuzzParse -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/graph -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime 5s
 	$(GO) test ./internal/graph -run FuzzReadTSV -fuzz FuzzReadTSV -fuzztime 5s
 	$(GO) test ./internal/sqlbase -run FuzzParseSQL -fuzz FuzzParseSQL -fuzztime 5s
 	$(GO) test ./internal/expr -run FuzzEval -fuzz FuzzEval -fuzztime 10s
+	$(GO) test ./internal/server -run FuzzServerQuery -fuzz FuzzServerQuery -fuzztime 10s
 
 ## bench-obs: tracing-overhead guard — the off variant must stay within
 ## noise of BenchmarkParallelExec (observability disabled is one context
 ## lookup per operator)
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkTracingOverhead|BenchmarkParallelExec' -benchtime 1x .
+
+## bench-store: storage-layer guard — compiles and runs the sharded
+## fan-out and result-cache benchmarks (cache hits must be cheaper than
+## re-evaluation; the hit variant asserts the cache actually answered)
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 1x ./internal/store
 
 ## check: everything CI runs
 check: build vet gqlvet test test-server race fuzz-smoke

@@ -5,7 +5,14 @@
 //
 //	gqlserver -addr :8080 -doc name=file.tsv [-doc name2=file2.gql] \
 //	    [-workers N] [-max-inflight N] [-timeout 30s] [-max-body 1048576] \
-//	    [-grace 10s] [-slow 100ms]
+//	    [-grace 10s] [-slow 100ms] [-shards N] [-cache N] [-index-paths L]
+//
+// -shards partitions every document into N hash shards whose selections fan
+// out concurrently and merge deterministically; -index-paths builds a
+// per-shard path-feature index of length L at registration; -cache enables
+// an N-entry LRU result cache keyed on (program, store version), so
+// repeated queries are served without re-evaluation until a document
+// changes.
 //
 // Documents are loaded at startup from TSV exchange files (a single large
 // graph), .bin binary collections, or .gql text files (a sequence of graph
@@ -42,6 +49,7 @@ import (
 	"gqldb/internal/obs"
 	"gqldb/internal/parser"
 	"gqldb/internal/server"
+	"gqldb/internal/store"
 	"time"
 )
 
@@ -70,9 +78,15 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes; larger bodies get 413")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
 	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables; e.g. 100ms)")
+	shards := flag.Int("shards", 1, "hash partitions per document; >1 fans selection across shards")
+	cache := flag.Int("cache", 0, "result cache capacity in entries (0 disables caching)")
+	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables; 3 is a good default for many small graphs)")
 	flag.Parse()
 
-	eng := exec.New(exec.Store{})
+	eng := exec.NewOver(store.New(store.Options{Shards: *shards, IndexMaxLen: *indexLen}))
+	if *cache > 0 {
+		eng.Cache = store.NewCache(*cache)
+	}
 	eng.Workers = *workers
 	eng.SlowQuery = *slow
 	eng.SlowQueryLog = func(r obs.SlowQueryRecord) { log.Printf("gqlserver: %s", r) }

@@ -19,6 +19,14 @@
 // plus a Prometheus-style dump of the process metrics. The -workers,
 // -slow and -metrics flags configure the engine fan-out, the slow-query
 // log threshold and an unconditional metrics dump.
+//
+// Storage: -shards partitions every document into N hash shards whose
+// selections fan out concurrently and merge deterministically (output is
+// byte-identical to the unsharded scan); -index-paths builds a per-shard
+// path-feature index of the given maximum length at load; -cache enables
+// an N-entry LRU result cache keyed on (canonical program, store
+// version) — mostly useful when piping several identical programs
+// through one shell invocation.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"gqldb/internal/obs"
 	"gqldb/internal/parser"
 	"gqldb/internal/stats"
+	"gqldb/internal/store"
 )
 
 // docFlags collects repeated -doc name=path flags.
@@ -61,15 +70,18 @@ func main() {
 	workers := flag.Int("workers", 0, "for-clause fan-out (0/1 serial, negative GOMAXPROCS)")
 	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables; e.g. 100ms)")
 	metrics := flag.Bool("metrics", false, "dump process metrics (Prometheus text format) after the run")
+	shards := flag.Int("shards", 1, "hash partitions per document; >1 fans selection across shards")
+	cache := flag.Int("cache", 0, "result cache capacity in entries (0 disables; single-shot runs rarely benefit)")
+	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables)")
 	flag.Parse()
 
-	store := exec.Store{}
+	ds := store.New(store.Options{Shards: *shards, IndexMaxLen: *indexLen})
 	for name, path := range docs {
 		coll, err := loadDoc(path)
 		if err != nil {
 			fail("loading %s: %v", path, err)
 		}
-		store[name] = coll
+		ds.RegisterDoc(name, coll)
 	}
 
 	var src []byte
@@ -85,19 +97,18 @@ func main() {
 
 	mode, query := splitDirective(string(src))
 
-	e := exec.New(store)
+	e := exec.NewOver(ds)
+	if *cache > 0 {
+		e.Cache = store.NewCache(*cache)
+	}
 	e.Workers = *workers
 	e.SlowQuery = *slow
 	e.SlowQueryLog = func(r obs.SlowQueryRecord) { fmt.Fprintf(os.Stderr, "gqlshell: %s\n", r) }
 	e.Trace = mode != ""
 
-	var root *obs.Span
-	prog, perr := parseTraced(query, e, &root)
-	if perr != nil {
-		fail("%v", perr)
-	}
-	res, err := e.RunContext(ctxWithRoot(root), prog)
-	root.End()
+	// RunQuery owns parsing (the parse phase is a child span of the traced
+	// run) and the result cache.
+	res, err := e.RunQuery(context.Background(), query)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -144,28 +155,6 @@ func splitDirective(src string) (mode, rest string) {
 		}
 	}
 	return "", src
-}
-
-// parseTraced parses the program; when the engine traces, the root span is
-// created first so the parse phase is part of the tree.
-func parseTraced(query string, e *exec.Engine, root **obs.Span) (*ast.Program, error) {
-	if e.Trace {
-		*root = obs.NewTrace("query")
-	}
-	psp := (*root).StartChild("parse")
-	prog, err := parser.Parse(query)
-	psp.End()
-	return prog, err
-}
-
-// ctxWithRoot installs the root span when tracing; a nil root leaves the
-// context bare (tracing disabled).
-func ctxWithRoot(root *obs.Span) context.Context {
-	ctx := context.Background()
-	if root != nil {
-		ctx = obs.NewContext(ctx, root)
-	}
-	return ctx
 }
 
 // renderTrace prints the span tree, the per-operator table (from the

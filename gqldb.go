@@ -43,6 +43,7 @@ import (
 	"gqldb/internal/pattern"
 	"gqldb/internal/reach"
 	"gqldb/internal/server"
+	"gqldb/internal/store"
 )
 
 // Core data-model types.
@@ -95,8 +96,40 @@ type (
 	Operand = algebra.Operand
 	// Expr is a predicate expression.
 	Expr = expr.Expr
-	// Store maps document names to collections for query execution.
+	// Store maps document names to collections for query execution. It is
+	// the compatibility constructor shape: Run/NewEngine wrap it into an
+	// unsharded DocStore. For sharding, versioned registration or result
+	// caching, build a DocStore and use NewEngineOver.
 	Store = exec.Store
+	// DocStore is the versioned, sharded in-process document store: every
+	// RegisterDoc bumps a monotonic version, queries read immutable
+	// snapshots, and collections are hash-partitioned into shards with
+	// optional per-shard path indexes (see StoreOptions).
+	DocStore = store.DocStore
+	// StoreOptions configures a DocStore: shard count per document and the
+	// per-shard path-feature index length (0 disables indexing).
+	StoreOptions = store.Options
+	// StoreSnapshot is one immutable view of a DocStore at a single
+	// version; in-flight queries each pin one.
+	StoreSnapshot = store.Snapshot
+	// VersionedStore is the engine-facing document-store interface
+	// (DocStore is the in-process implementation; an RPC client is the
+	// multi-process seam).
+	VersionedStore = store.Store
+	// ResultCache is the LRU whole-program result cache keyed on
+	// (canonical program text, documents read, store version), invalidated
+	// by version bump; set it on Engine.Cache and query via
+	// Engine.RunQuery.
+	ResultCache = store.Cache
+	// CacheStats is a ResultCache counter snapshot (hits, misses,
+	// evictions, invalidations, entries).
+	CacheStats = store.CacheStats
+	// ShardSelector evaluates selection over one store shard — the seam a
+	// multi-process deployment implements with an RPC shard client.
+	ShardSelector = store.ShardSelector
+	// QueryParseError marks an Engine.RunQuery failure as a syntax error in
+	// the program source (errors.As target).
+	QueryParseError = exec.ParseError
 	// QueryResult is the outcome of running a FLWR program.
 	QueryResult = exec.Result
 	// Engine evaluates parsed programs against a store; set Workers for
@@ -313,12 +346,12 @@ func ParseExpr(src string) (Expr, error) { return parser.ParseExpr(src) }
 func ParseQuery(src string) (*ast.Program, error) { return parser.Parse(src) }
 
 // Run parses and executes a GraphQL program against a document store.
-func Run(src string, store Store) (*QueryResult, error) {
+func Run(src string, st Store) (*QueryResult, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return exec.New(store).Run(prog)
+	return exec.New(st).Run(prog)
 }
 
 // RunContext parses and executes a GraphQL program under a context on a
@@ -327,14 +360,14 @@ func Run(src string, store Store) (*QueryResult, error) {
 // individual backtracking steps of each selection. When ctx carries a trace
 // (StartTrace), parsing and every evaluation phase record spans and the
 // tree is returned in QueryResult.Trace.
-func RunContext(ctx context.Context, src string, store Store, workers int) (*QueryResult, error) {
+func RunContext(ctx context.Context, src string, st Store, workers int) (*QueryResult, error) {
 	psp := TraceFromContext(ctx).StartChild("parse")
 	prog, err := parser.Parse(src)
 	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	e := exec.New(store)
+	e := exec.New(st)
 	e.Workers = workers
 	return e.RunContext(ctx, prog)
 }
@@ -370,9 +403,29 @@ func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 // counters as int64, histograms as {count, sum_seconds} maps.
 func MetricsSnapshot() map[string]any { return obs.Snapshot() }
 
-// NewEngine returns a query engine over the store with default options; set
-// Workers, Opts, IxFor or CollIndex before calling Run/RunContext.
-func NewEngine(store Store) *Engine { return exec.New(store) }
+// NewEngine returns a query engine over the document map with default
+// options; set Workers, Opts, IxFor or CollIndex before calling
+// Run/RunContext. The map is wrapped into an unsharded DocStore at
+// construction.
+func NewEngine(st Store) *Engine { return exec.New(st) }
+
+// NewEngineOver returns a query engine reading through a versioned store —
+// the constructor for sharded, indexed or result-cached deployments:
+//
+//	docs := gqldb.NewDocStore(gqldb.StoreOptions{Shards: 8, IndexMaxLen: 3})
+//	docs.RegisterDoc("DBLP", papers)
+//	eng := gqldb.NewEngineOver(docs)
+//	eng.Cache = gqldb.NewResultCache(256)
+//	res, err := eng.RunQuery(ctx, query)
+func NewEngineOver(docs VersionedStore) *Engine { return exec.NewOver(docs) }
+
+// NewDocStore returns an empty versioned document store; register
+// collections with RegisterDoc (each registration bumps the store version).
+func NewDocStore(opts StoreOptions) *DocStore { return store.New(opts) }
+
+// NewResultCache returns an LRU whole-program result cache holding at most
+// capacity entries; assign it to Engine.Cache.
+func NewResultCache(capacity int) *ResultCache { return store.NewCache(capacity) }
 
 // ParseGraph parses a single graph literal in the language syntax
 // (`graph G { node v1 <label="A">; ... };`).

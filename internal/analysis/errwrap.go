@@ -14,6 +14,12 @@ import (
 // errors.New("bad input") surfacing from a deep call site is undebuggable at
 // the gqlshell prompt; unexported helpers are where those deep sites live,
 // so they get no exemption.
+//
+// It additionally demands %w whenever a callee error reaches fmt.Errorf as
+// a format argument: formatting an error with %v or %s flattens it to text,
+// so errors.Is/As (which the server's status mapping and the engine's
+// ParseError unwrapping rely on) stop seeing the cause. Any argument whose
+// static type implements the universe error interface must be wrapped.
 var ErrWrap = &Analyzer{
 	Name: "errwrap",
 	Doc:  "internal functions must package-prefix error messages or wrap with %w",
@@ -54,14 +60,37 @@ func runErrWrap(pass *Pass) {
 						pass.Reportf(call.Pos(), "errors.New message %q in %s lacks the %q prefix; use fmt.Errorf(\"%s ...\") or wrap with %%w", msg, fd.Name.Name, prefix, prefix)
 					}
 				case x.Name == "fmt" && sel.Sel.Name == "Errorf":
-					if !strings.HasPrefix(msg, prefix) && !strings.Contains(msg, "%w") {
+					wraps := strings.Contains(msg, "%w")
+					if !strings.HasPrefix(msg, prefix) && !wraps {
 						pass.Reportf(call.Pos(), "fmt.Errorf message %q in %s neither has the %q prefix nor wraps with %%w", msg, fd.Name.Name, prefix)
+					}
+					if !wraps {
+						for _, arg := range call.Args[1:] {
+							if isErrorTyped(pass, arg) {
+								pass.Reportf(call.Pos(), "fmt.Errorf in %s formats an error argument without %%w; wrap it so errors.Is/As keep seeing the cause", fd.Name.Name)
+								break
+							}
+						}
 					}
 				}
 				return true
 			})
 		}
 	}
+}
+
+// isErrorTyped reports whether e's static type implements the universe
+// error interface (the type of a callee error in scope at the call site).
+func isErrorTyped(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(tv.Type, errIface)
 }
 
 // returnsError reports whether any declared result of fd has type error.

@@ -20,10 +20,13 @@ var unsafeInGoroutine = map[string]map[string]bool{
 	// from pool workers corrupts the trace even though Add/StartChild are
 	// locked and worker-safe.
 	"internal/obs.Span": {"End": true, "SetAttr": true},
-	// RegisterDoc writes the engine's Store map with no lock; it is a
-	// startup-only call by contract, before the listener accepts request
-	// goroutines that read the same map.
-	"internal/server.Server": {"RegisterDoc": true},
+	// DocBuilder batches registrations without synchronization; builds are
+	// single-goroutine by contract, with DocStore.install publishing the
+	// result under the store lock.
+	"internal/store.DocBuilder": {"Add": true},
+	// SetCapacity resizes the LRU without taking the cache lock; it is a
+	// startup-only call by contract, before any querying goroutine exists.
+	"internal/store.Cache": {"SetCapacity": true},
 }
 
 // GoSafe inspects goroutine bodies (as in algebra.ParallelSelection) for

@@ -1,39 +1,48 @@
 // Package server is analyzer corpus: a miniature stand-in for
-// gqldb/internal/server whose RegisterDoc mutates the engine's document
-// map without a lock. The real method is startup-only by contract — it
-// must run before the listener starts request goroutines that read the
-// same map — so any call from inside a goroutine is a race.
+// gqldb/internal/server after the storage-layer refactor. RegisterDoc now
+// routes through the versioned document store, whose install path takes
+// the store lock — so registration from any goroutine, including while
+// queries are in flight, is supported and must NOT be flagged. (The
+// pre-refactor unlocked map write used to be a gosafe entry; this file
+// pins the relaxation.)
 package server
 
-import "gqldb/internal/graph"
+import (
+	"sync"
+
+	"gqldb/internal/graph"
+)
 
 // Server mimics the HTTP frontend's registration surface.
 type Server struct {
+	mu   sync.Mutex
 	docs map[string][]*graph.Graph
 }
 
-// RegisterDoc installs a document collection. Unlocked map write:
-// coordinator-only, before serving starts.
+// RegisterDoc installs a document collection under the store lock: safe
+// from any goroutine.
 func (s *Server) RegisterDoc(name string, coll []*graph.Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.docs == nil {
 		s.docs = map[string][]*graph.Graph{}
 	}
 	s.docs[name] = coll
 }
 
-// RacyRegister loads documents from a background goroutine while the
-// server may already be serving: flagged.
-func RacyRegister(s *Server, coll []*graph.Graph) {
+// BackgroundRegister loads documents from a background goroutine while the
+// server is already serving: allowed since the versioned store.
+func BackgroundRegister(s *Server, coll []*graph.Graph) {
 	ch := make(chan struct{})
 	go func() {
-		s.RegisterDoc("DBLP", coll) // want:gosafe `non-thread-safe internal/server.Server.RegisterDoc`
+		s.RegisterDoc("DBLP", coll)
 		close(ch)
 	}()
 	<-ch
 }
 
-// StartupRegister registers on the coordinating goroutine before any
-// request goroutine exists: allowed.
+// StartupRegister registers on the coordinating goroutine: allowed, as
+// before.
 func StartupRegister(s *Server, coll []*graph.Graph) {
 	s.RegisterDoc("DBLP", coll)
 	s.RegisterDoc("BIG", coll)

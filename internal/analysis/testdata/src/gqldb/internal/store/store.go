@@ -53,3 +53,57 @@ func Flush() error {
 	msg := "store: flush failed"
 	return errors.New(msg)
 }
+
+// Reload has the package prefix but flattens the callee error with %v, so
+// errors.Is/As lose the cause: flagged.
+func Reload(path string) error {
+	if err := Load(path); err != nil {
+		return fmt.Errorf("store: reloading %s: %v", path, err) // want:errwrap `without %w`
+	}
+	return nil
+}
+
+// Describe formats an error's text on purpose via .Error(): the argument
+// is a string, not an error, so it is allowed.
+func Describe(path string) error {
+	if err := Load(path); err != nil {
+		return fmt.Errorf("store: describing %s (cause: %s)", path, err.Error())
+	}
+	return nil
+}
+
+// DocBuilder mimics the real store's unsynchronized batch builder.
+type DocBuilder struct {
+	items []string
+}
+
+// Add appends without synchronization: single-goroutine by contract.
+func (b *DocBuilder) Add(item string) { b.items = append(b.items, item) }
+
+// Cache mimes the result cache's startup-only resizing surface.
+type Cache struct {
+	capacity int
+}
+
+// SetCapacity resizes without taking the lock: startup-only by contract.
+func (c *Cache) SetCapacity(n int) { c.capacity = n }
+
+// RacyBuild feeds one builder and resizes one cache from goroutines that
+// share them: both flagged.
+func RacyBuild(b *DocBuilder, c *Cache) {
+	ch := make(chan struct{})
+	go func() {
+		b.Add("G1")      // want:gosafe `non-thread-safe internal/store.DocBuilder.Add`
+		c.SetCapacity(8) // want:gosafe `non-thread-safe internal/store.Cache.SetCapacity`
+		close(ch)
+	}()
+	<-ch
+}
+
+// CoordinatedBuild keeps builder feeding and cache sizing on the
+// coordinating goroutine: allowed.
+func CoordinatedBuild(b *DocBuilder, c *Cache) {
+	b.Add("G1")
+	b.Add("G2")
+	c.SetCapacity(8)
+}

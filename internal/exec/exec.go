@@ -22,14 +22,35 @@ import (
 	"gqldb/internal/obs"
 	"gqldb/internal/pattern"
 	"gqldb/internal/pool"
+	"gqldb/internal/store"
 )
 
 // Store maps document names (the argument of doc("...")) to collections.
+//
+// Deprecated as an engine field: since the versioned storage layer landed,
+// the engine reads documents through internal/store snapshots. The map type
+// remains as the compatibility constructor shape — New(Store{...}) wraps it
+// into an unsharded store.DocStore — so existing callers keep working; code
+// that wants sharding, versioned registration or per-shard indexes should
+// build a store.DocStore and use NewOver.
 type Store map[string]graph.Collection
 
-// Engine evaluates programs against a store.
+// Engine evaluates programs against a document store.
 type Engine struct {
-	Store Store
+	// Docs is the versioned document store queries read from. Every program
+	// executes against one store snapshot taken at entry, so concurrent
+	// RegisterDoc calls never tear an in-flight result. A nil Docs serves an
+	// empty snapshot.
+	Docs store.Store
+	// Cache, when set, memoizes whole-program results by (canonical program
+	// text, docs read, store version) — see RunQuery. Run/RunContext bypass
+	// it (they receive pre-parsed programs; the canonical source text is the
+	// cache's identity).
+	Cache *store.Cache
+	// Selector overrides how the coordinator evaluates one shard of a
+	// sharded document (the multi-process seam); nil means in-process
+	// matching (store.LocalSelector).
+	Selector store.ShardSelector
 	// Opts configures selection; Exhaustive is overridden per FLWR clause.
 	Opts match.Options
 	// IxFor optionally supplies per-graph access structures.
@@ -118,9 +139,25 @@ type Result struct {
 }
 
 // New returns an engine with the default (exhaustive, unoptimized)
-// selection options over the given store.
-func New(store Store) *Engine {
-	return &Engine{Store: store, Opts: match.Options{Exhaustive: true}}
+// selection options over the given document map, wrapped into an unsharded
+// single-version store. The map is captured at construction; later changes
+// to it are not observed — register documents through Engine.Docs instead.
+func New(st Store) *Engine {
+	return NewOver(store.FromMap(st))
+}
+
+// NewOver returns an engine reading through the given document store — the
+// constructor for sharded, indexed or externally-versioned stores.
+func NewOver(docs store.Store) *Engine {
+	return &Engine{Docs: docs, Opts: match.Options{Exhaustive: true}}
+}
+
+// snapshot pins the store view one program executes against.
+func (e *Engine) snapshot() *store.Snapshot {
+	if e.Docs == nil {
+		return store.EmptySnapshot()
+	}
+	return e.Docs.Snapshot()
 }
 
 // Run executes a parsed program.
@@ -139,11 +176,27 @@ func (e *Engine) Run(prog *ast.Program) (*Result, error) {
 // whose wall time crosses Engine.SlowQuery is reported to the slow-query
 // log hook whether it succeeded or failed.
 func (e *Engine) RunContext(ctx context.Context, prog *ast.Program) (*Result, error) {
+	ctx, root, rooted := e.traceRoot(ctx)
+	res, err := e.runInstrumented(ctx, prog, e.snapshot())
+	if rooted {
+		root.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = root
+	return res, nil
+}
+
+// traceRoot resolves the run's root span: a span already carried by ctx is
+// reused; otherwise Engine.Trace roots a fresh one. rooted reports that
+// this call created the root and owns its End.
+func (e *Engine) traceRoot(ctx context.Context) (context.Context, *obs.Span, bool) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	root := obs.FromContext(ctx)
-	rooted := false // this call created (and must End) the root span
+	rooted := false
 	if root == nil && e.Trace {
 		root = obs.NewTrace("query")
 		rooted = true
@@ -151,20 +204,25 @@ func (e *Engine) RunContext(ctx context.Context, prog *ast.Program) (*Result, er
 	if root != nil {
 		ctx = obs.NewContext(ctx, root)
 	}
+	return ctx, root, rooted
+}
+
+// runInstrumented executes the program against one pinned store snapshot
+// with the query-level metrics and the slow-query hook applied. The
+// snapshot is a parameter (not re-taken) so callers that compute a cache
+// key from a snapshot execute against exactly that version.
+func (e *Engine) runInstrumented(ctx context.Context, prog *ast.Program, snap *store.Snapshot) (*Result, error) {
 	obs.Queries.Inc()
 	start := time.Now()
-	res, executed, err := e.run(ctx, prog)
+	res, executed, err := e.run(ctx, prog, snap)
 	wall := time.Since(start)
 	obs.QuerySeconds.Observe(wall)
 	if err != nil {
 		obs.QueryErrors.Inc()
 	}
-	if rooted {
-		root.End()
-	}
 	if e.SlowQuery > 0 && wall >= e.SlowQuery {
 		obs.SlowQueries.Inc()
-		rec := obs.SlowQueryRecord{Wall: wall, Statements: executed, Err: err, Trace: root}
+		rec := obs.SlowQueryRecord{Wall: wall, Statements: executed, Err: err, Trace: obs.FromContext(ctx)}
 		if e.SlowQueryLog != nil {
 			e.SlowQueryLog(rec)
 		} else {
@@ -174,16 +232,16 @@ func (e *Engine) RunContext(ctx context.Context, prog *ast.Program) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	res.Trace = root
 	return res, nil
 }
 
 // run executes the program statements, returning the result, the number of
 // statements executed, and the terminal error.
-func (e *Engine) run(ctx context.Context, prog *ast.Program) (*Result, int, error) {
+func (e *Engine) run(ctx context.Context, prog *ast.Program, snap *store.Snapshot) (*Result, int, error) {
 	env := &environment{
 		engine:  e,
 		ctx:     ctx,
+		snap:    snap,
 		stats:   &match.Stats{},
 		decls:   map[string]*ast.GraphDecl{},
 		vars:    map[string]*graph.Graph{},
@@ -209,6 +267,7 @@ func (e *Engine) run(ctx context.Context, prog *ast.Program) (*Result, int, erro
 type environment struct {
 	engine  *Engine
 	ctx     context.Context
+	snap    *store.Snapshot
 	stats   *match.Stats
 	decls   map[string]*ast.GraphDecl
 	vars    map[string]*graph.Graph
@@ -359,7 +418,7 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 			return fmt.Errorf("exec: undeclared pattern %s", f.PatternName)
 		}
 	}
-	coll, ok := env.engine.Store[f.Doc]
+	d, ok := env.snap.Doc(f.Doc)
 	if !ok {
 		return fmt.Errorf("exec: unknown document %q", f.Doc)
 	}
@@ -387,26 +446,7 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 
 	workers := env.engine.workerCount()
 	for _, p := range pats {
-		target := coll
-		if cix, ok := env.engine.CollIndex[f.Doc]; ok {
-			isp := fsp.StartChild("index-filter")
-			cands, err := cix.Candidates(p)
-			isp.End()
-			if err != nil {
-				return err
-			}
-			isp.Add("total", int64(len(coll)))
-			isp.Add("candidates", int64(len(cands)))
-			isp.Add("pruned", int64(len(coll)-len(cands)))
-			obs.GindexCandidates.Add(int64(len(cands)))
-			obs.GindexPruned.Add(int64(len(coll) - len(cands)))
-			filtered := make(graph.Collection, len(cands))
-			for i, gi := range cands {
-				filtered[i] = coll[gi]
-			}
-			target = filtered
-		}
-		ms, err := algebra.SelectionContext(fctx, p, target, opts, env.engine.IxFor, workers, env.stats)
+		ms, err := env.selectDoc(fctx, fsp, d, p, f.Doc, opts, workers)
 		if err != nil {
 			return err
 		}
@@ -435,6 +475,52 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 		lsp.End()
 	}
 	return nil
+}
+
+// selectDoc evaluates one pattern's selection over a document, picking the
+// access path:
+//
+//   - a sharded document goes through the store Coordinator (fan-out per
+//     shard, per-shard index filter, canonical-order merge — byte-identical
+//     to a serial scan);
+//   - an unsharded document with a path index (the legacy Engine.CollIndex
+//     registration or the store's built-at-registration index) is filtered
+//     to candidates, then selected;
+//   - otherwise the whole collection is selected directly.
+//
+// Engine.CollIndex, when it names the document, wins over the store path:
+// it indexes the whole collection, so it applies even to sharded docs.
+func (env *environment) selectDoc(ctx context.Context, fsp *obs.Span, d *store.Doc, p *pattern.Pattern, docName string, opts match.Options, workers int) (algebra.Matched, error) {
+	engine := env.engine
+	cix, legacy := engine.CollIndex[docName]
+	if !legacy {
+		cix = d.Index() // nil for sharded or unindexed documents
+	}
+	if d.Sharded() && !legacy {
+		co := &store.Coordinator{Selector: engine.Selector}
+		return co.Select(ctx, d, p, opts, engine.IxFor, workers, env.stats)
+	}
+	coll := d.Collection()
+	target := coll
+	if cix != nil {
+		isp := fsp.StartChild("index-filter")
+		cands, err := cix.Candidates(p)
+		isp.End()
+		if err != nil {
+			return nil, err
+		}
+		isp.Add("total", int64(len(coll)))
+		isp.Add("candidates", int64(len(cands)))
+		isp.Add("pruned", int64(len(coll)-len(cands)))
+		obs.GindexCandidates.Add(int64(len(cands)))
+		obs.GindexPruned.Add(int64(len(coll) - len(cands)))
+		filtered := make(graph.Collection, len(cands))
+		for i, gi := range cands {
+			filtered[i] = coll[gi]
+		}
+		target = filtered
+	}
+	return algebra.SelectionContext(ctx, p, target, opts, engine.IxFor, workers, env.stats)
 }
 
 // returnFanout instantiates the return template for every match on the

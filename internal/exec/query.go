@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gqldb/internal/ast"
+	"gqldb/internal/graph"
+	"gqldb/internal/lexer"
+	"gqldb/internal/match"
+	"gqldb/internal/obs"
+	"gqldb/internal/parser"
+	"gqldb/internal/store"
+)
+
+// ParseError marks a RunQuery failure as a syntax error in the source
+// program (as opposed to an evaluation error); frontends unwrap it to map
+// the failure to a client-fault status.
+type ParseError struct {
+	Err error
+}
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying parser error.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// RunQuery parses and executes a source program, reading and populating the
+// engine's result cache when one is configured. This is the entry point for
+// frontends that receive programs as text (the HTTP server, the shell): the
+// source string is the cache identity, canonicalized through the lexer so
+// formatting differences (whitespace, comments, string quoting) share one
+// entry.
+//
+// The cache key is (canonical program, documents read, store version of the
+// snapshot the program runs against) and the engine executes against
+// exactly the keyed snapshot, so a hit returns precisely what re-evaluation
+// would. Worker count is not part of the key — parallelism never changes a
+// result. Cached graphs are cloned both into and out of the cache, so
+// callers may mutate a result freely.
+//
+// Parse failures return a *ParseError; they are not counted as query
+// executions.
+func (e *Engine) RunQuery(ctx context.Context, src string) (*Result, error) {
+	ctx, root, rooted := e.traceRoot(ctx)
+	psp := root.StartChild("parse")
+	prog, err := parser.Parse(src)
+	psp.End()
+	if err != nil {
+		if rooted {
+			root.End()
+		}
+		return nil, &ParseError{Err: err}
+	}
+	snap := e.snapshot()
+	var key store.CacheKey
+	if e.Cache != nil {
+		key = store.CacheKey{
+			Program: canonicalProgram(src),
+			Docs:    strings.Join(docsOf(prog), "\x00"),
+			Version: snap.Version(),
+		}
+		if v, ok := e.Cache.Get(key); ok {
+			obs.Queries.Inc()
+			start := time.Now()
+			res := v.(*cachedResult).toResult()
+			obs.QuerySeconds.Observe(time.Since(start))
+			hsp := root.StartChild("cache-hit")
+			hsp.Add("graphs", int64(len(res.Out)))
+			hsp.End()
+			if rooted {
+				root.End()
+			}
+			res.Trace = root
+			return res, nil
+		}
+	}
+	res, err := e.runInstrumented(ctx, prog, snap)
+	if rooted {
+		root.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.Cache != nil {
+		e.Cache.Put(key, newCachedResult(res))
+	}
+	res.Trace = root
+	return res, nil
+}
+
+// cachedResult is the engine's cache entry: deep copies of the output
+// collection and final graph variables. Stats and Trace are per-execution
+// and deliberately not cached.
+type cachedResult struct {
+	out  graph.Collection
+	vars map[string]*graph.Graph
+}
+
+// newCachedResult deep-copies a result into an entry. The copy happens at
+// Put time, so callers mutating the returned Result never reach the cache.
+func newCachedResult(res *Result) *cachedResult {
+	return &cachedResult{out: cloneCollection(res.Out), vars: cloneVars(res.Vars)}
+}
+
+// toResult deep-copies the entry back out. A cache hit executed no
+// operators, so Stats is a fresh empty record.
+func (c *cachedResult) toResult() *Result {
+	return &Result{Out: cloneCollection(c.out), Vars: cloneVars(c.vars), Stats: &match.Stats{}}
+}
+
+func cloneCollection(c graph.Collection) graph.Collection {
+	if c == nil {
+		return nil
+	}
+	out := make(graph.Collection, len(c))
+	for i, g := range c {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+func cloneVars(m map[string]*graph.Graph) map[string]*graph.Graph {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]*graph.Graph, len(m))
+	for name, g := range m {
+		out[name] = g.Clone()
+	}
+	return out
+}
+
+// canonicalProgram renders the source as its token stream: one space
+// between tokens, string literals re-quoted, comments and layout gone. Two
+// spellings of the same program therefore share a cache entry. The source
+// is returned as-is when it does not tokenize (unreachable after a
+// successful parse; kept for safety).
+func canonicalProgram(src string) string {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return src
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	for i, t := range toks {
+		if t.Kind == lexer.EOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if t.Kind == lexer.Str {
+			b.WriteString(strconv.Quote(t.Text))
+		} else {
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String()
+}
+
+// docsOf returns the sorted, deduplicated document names the program's FLWR
+// statements read — the data the cached result depends on.
+func docsOf(prog *ast.Program) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range prog.Stmts {
+		if f, ok := s.(*ast.FLWRStmt); ok && !seen[f.Doc] {
+			seen[f.Doc] = true
+			out = append(out, f.Doc)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

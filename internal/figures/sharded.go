@@ -1,0 +1,77 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"gqldb/internal/algebra"
+	"gqldb/internal/match"
+	"gqldb/internal/stats"
+	"gqldb/internal/store"
+)
+
+// ShardedSpeedup measures the storage layer's coordinator fan-out against
+// the serial unsharded scan on the collection workload: mean wall time per
+// σ_P run at several shard counts, all at GOMAXPROCS workers, plus the
+// serial baseline. The coordinator's merge is canonical-ordinal addressed,
+// so output is byte-identical at every row and the table isolates the pure
+// partitioning speedup (and its overhead at shard counts far above the
+// core count).
+func (r *Runner) ShardedSpeedup() (*stats.Table, error) {
+	c, p, err := r.parallelWorkload()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Compile(); err != nil {
+		return nil, err
+	}
+	opt := match.Options{Exhaustive: true, Limit: r.Cfg.HitLimit}
+	workers := runtime.GOMAXPROCS(0)
+
+	const reps = 3
+	t := &stats.Table{
+		Title:   "Sharded selection: wall time (ms) and speedup vs serial scan, collection workload",
+		Headers: []string{"layout", "selection_ms", "speedup"},
+	}
+
+	var serial float64
+	{
+		var agg stats.Agg
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			if _, err := algebra.SelectionContext(context.Background(), p, c, opt, nil, 1, nil); err != nil {
+				return nil, err
+			}
+			agg.Add(ms(time.Since(start)))
+		}
+		serial = agg.Mean()
+		r.logf("sharded serial: selection %.2fms", serial)
+		t.AddRow("serial (unsharded)", stats.FmtMs(serial), "1.00x")
+	}
+
+	for _, shards := range []int{1, 4, 8, 16} {
+		s := store.New(store.Options{Shards: shards})
+		s.RegisterDoc("db", c)
+		d, ok := s.Snapshot().Doc("db")
+		if !ok {
+			return nil, fmt.Errorf("figures: sharded workload document missing")
+		}
+		co := &store.Coordinator{}
+		var agg stats.Agg
+		for rep := 0; rep < reps; rep++ {
+			st := &match.Stats{}
+			start := time.Now()
+			if _, err := co.Select(context.Background(), d, p, opt, nil, workers, st); err != nil {
+				return nil, err
+			}
+			agg.Add(ms(time.Since(start)))
+		}
+		mean := agg.Mean()
+		r.logf("sharded shards=%d workers=%d: selection %.2fms", shards, workers, mean)
+		t.AddRow(fmt.Sprintf("shards=%d workers=%d", shards, workers),
+			stats.FmtMs(mean), fmt.Sprintf("%.2fx", serial/mean))
+	}
+	return t, nil
+}

@@ -153,6 +153,24 @@ var (
 	// GindexPruned counts graphs the path-feature filter skipped without
 	// verification.
 	GindexPruned = newCounter("gqldb_gindex_pruned_total", "graphs pruned by the collection index filter")
+	// StoreMutations counts versioned document-store writes (RegisterDoc /
+	// RemoveDoc); each one bumps the store version and invalidates the
+	// result cache.
+	StoreMutations = newCounter("gqldb_store_mutations_total", "versioned document store writes")
+	// ShardedSelections counts selection operators fanned across document
+	// shards by the coordinator.
+	ShardedSelections = newCounter("gqldb_sharded_selections_total", "selections fanned across document shards")
+	// CacheHits counts result-cache lookups served from a cached entry.
+	CacheHits = newCounter("gqldb_cache_hits_total", "query result cache hits")
+	// CacheMisses counts result-cache lookups that fell through to
+	// evaluation.
+	CacheMisses = newCounter("gqldb_cache_misses_total", "query result cache misses")
+	// CacheEvictions counts entries dropped by the cache's LRU capacity
+	// bound.
+	CacheEvictions = newCounter("gqldb_cache_evictions_total", "query result cache capacity evictions")
+	// CacheInvalidations counts whole-cache purges triggered by a store
+	// version bump.
+	CacheInvalidations = newCounter("gqldb_cache_invalidations_total", "query result cache purges on store version bump")
 	// PoolRuns counts bulk-operator executions on the worker pool.
 	PoolRuns = newCounter("gqldb_pool_runs_total", "bulk operator executions on the worker pool")
 	// PoolTasks counts individual work items fanned out on the pool.

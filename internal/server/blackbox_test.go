@@ -65,7 +65,7 @@ func TestServerBlackBox(t *testing.T) {
 		"-doc", "DBLP="+smallPath,
 		"-doc", "BIG="+bigPath,
 		"-max-inflight", "1",
-		"-grace", "5s",
+		"-grace", "10s",
 		"-timeout", "10s")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -199,9 +199,12 @@ func TestServerBlackBox(t *testing.T) {
 
 	// Overload: pin the single admission slot, then the next query is
 	// rejected 429 with Retry-After.
+	// The pinned query's own deadline (1.5s) must land well inside the
+	// drain grace (10s) even on a loaded machine — `make race` runs other
+	// packages' stress tests concurrently with this one.
 	pinned := make(chan string, 1)
 	go func() {
-		_, _, b := post(queryRequest{Query: pathQuery, TimeoutMS: 2500})
+		_, _, b := post(queryRequest{Query: pathQuery, TimeoutMS: 1500})
 		pinned <- b
 	}()
 	waitForInflight := func() {
@@ -237,7 +240,7 @@ func TestServerBlackBox(t *testing.T) {
 		if !strings.Contains(b, `"code":"timeout"`) && !strings.Contains(b, `"code":"canceled"`) {
 			t.Fatalf("pinned query response during drain: %s", b)
 		}
-	case <-time.After(8 * time.Second):
+	case <-time.After(12 * time.Second):
 		t.Fatal("pinned query got no response during drain")
 	}
 	done := make(chan error, 1)
@@ -245,9 +248,11 @@ func TestServerBlackBox(t *testing.T) {
 	select {
 	case err := <-done:
 		if err != nil {
-			t.Fatalf("gqlserver exited non-zero: %v", err)
+			// The process has exited, so the stderr scanner has hit EOF and
+			// the full log is available for the diagnosis.
+			t.Fatalf("gqlserver exited non-zero: %v\nserver logs:\n%s", err, <-logc)
 		}
-	case <-time.After(8 * time.Second):
+	case <-time.After(12 * time.Second):
 		t.Fatal("gqlserver did not exit within the grace period")
 	}
 	logs := <-logc

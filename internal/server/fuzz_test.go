@@ -1,0 +1,101 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gqldb/internal/exec"
+	"gqldb/internal/store"
+)
+
+// fuzzServer is shared across fuzz iterations: the engine runs over a
+// sharded, cached store so the fuzzer also exercises the coordinator
+// fan-out and the result-cache key path, and the handler state (admission
+// semaphore, access log, metrics) accumulates across inputs like a real
+// process. Construction is deferred into the first iteration so `go test
+// -run` without the fuzz target pays nothing.
+var fuzzServer = sync.OnceValue(func() *Server {
+	eng := exec.NewOver(store.New(store.Options{Shards: 3, IndexMaxLen: 2}))
+	eng.Cache = store.NewCache(32)
+	s := New(Config{
+		Engine: eng,
+		// Short deadline and small body cap: a fuzz-crafted pathological
+		// program must end in a JSON 504, not a stuck worker.
+		Timeout:   2 * time.Second,
+		MaxBody:   64 << 10,
+		AccessLog: func(AccessRecord) {},
+	})
+	s.RegisterDoc("DBLP", dblp())
+	return s
+})
+
+// FuzzServerQuery drives the HTTP frontend at the wire level: arbitrary
+// bodies, raw or JSON-envelope framed, against /query and /explain. The
+// handler contract under ANY input is: never a 500 (wrap converts handler
+// panics into 500/"internal", so a 500 here IS a panic), and always a
+// well-formed JSON response — either a success shape or
+// {"error":{"code":...,"message":...}} with a known code.
+func FuzzServerQuery(f *testing.F) {
+	// Raw programs: valid, empty, parse error, eval error (unknown doc),
+	// and parser stress shapes.
+	f.Add([]byte(authorsQuery), false, false)
+	f.Add([]byte(""), false, false)
+	f.Add([]byte("for graph Q { node v1; } in doc(\"DBLP\")"), false, true)
+	f.Add([]byte("for graph Q { node v1; } in doc(\"NOPE\") return graph { node Q.v1; };"), false, false)
+	f.Add([]byte("graph G { node v1 where label=\"A\"; };"), false, false)
+	f.Add([]byte("((((((((((("), false, false)
+	f.Add([]byte("\xff\xfe invalid utf8"), false, false)
+	// JSON envelopes: valid, workers/timeout overrides, malformed JSON,
+	// wrong-typed fields, huge/negative numbers.
+	f.Add([]byte(`{"query":"for graph Q { node v1 <author>; } exhaustive in doc(\"DBLP\") return graph { node Q.v1; };"}`), true, false)
+	f.Add([]byte(`{"query":"graph G { node a; };","workers":-1,"timeout_ms":1}`), true, true)
+	f.Add([]byte(`{"query":`), true, false)
+	f.Add([]byte(`{"query":42}`), true, false)
+	f.Add([]byte(`{"query":"graph G { node a; };","timeout_ms":99999999999999}`), true, false)
+	f.Add([]byte(`[]`), true, false)
+
+	f.Fuzz(func(t *testing.T, body []byte, asJSON, explain bool) {
+		s := fuzzServer()
+		path := "/query"
+		if explain {
+			path = "/explain"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(body)))
+		if asJSON {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+
+		res := rec.Result()
+		if res.StatusCode == http.StatusInternalServerError {
+			t.Fatalf("%s returned 500 (handler panic) for body %q", path, body)
+		}
+		if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s returned Content-Type %q, want application/json (status %d, body %q)",
+				path, ct, res.StatusCode, rec.Body.Bytes())
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("%s returned invalid JSON (status %d): %q", path, res.StatusCode, rec.Body.Bytes())
+		}
+		if res.StatusCode == http.StatusOK {
+			return
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code == "" {
+			t.Fatalf("%s status %d without the error shape: %q", path, res.StatusCode, rec.Body.Bytes())
+		}
+		switch er.Error.Code {
+		case "bad_request", "parse_error", "eval_error", "timeout", "canceled",
+			"body_too_large", "overloaded", "draining":
+		default:
+			t.Fatalf("%s returned unknown error code %q (status %d) for body %q",
+				path, er.Error.Code, res.StatusCode, body)
+		}
+	})
+}

@@ -12,13 +12,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strings"
 	"time"
 
 	"gqldb/internal/exec"
 	"gqldb/internal/obs"
-	"gqldb/internal/parser"
+	"gqldb/internal/store"
 )
 
 // queryRequest is the JSON envelope of /query and /explain.
@@ -167,12 +166,6 @@ func (s *Server) runRequest(w *statusWriter, r *http.Request, trace bool) (*exec
 		return nil, 0, false
 	}
 
-	prog, err := parser.Parse(req.Query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
-		return nil, 0, false
-	}
-
 	// The request context descends from the server's base context (so a
 	// drain past its grace period cancels it) with the per-request deadline
 	// applied; client disconnect propagates via AfterFunc.
@@ -181,12 +174,17 @@ func (s *Server) runRequest(w *statusWriter, r *http.Request, trace bool) (*exec
 	stop := context.AfterFunc(r.Context(), cancel)
 	defer stop()
 
+	// RunQuery parses, consults the result cache (keyed on the canonical
+	// program text and the store version) and evaluates on a miss.
 	eng := s.engine.Request(exec.RequestOptions{Workers: req.Workers, Trace: trace})
 	start := time.Now()
-	res, err := eng.RunContext(ctx, prog)
+	res, err := eng.RunQuery(ctx, req.Query)
 	wall := time.Since(start)
 	if err != nil {
+		var parseErr *exec.ParseError
 		switch {
+		case errors.As(err, &parseErr):
+			writeError(w, http.StatusBadRequest, "parse_error", parseErr.Error())
 		case errors.Is(err, context.DeadlineExceeded):
 			obs.HTTPTimeouts.Inc()
 			writeError(w, http.StatusGatewayTimeout, "timeout",
@@ -275,17 +273,29 @@ type healthResponse struct {
 	Status   string   `json:"status"` // "ok" or "draining"
 	Inflight int64    `json:"inflight"`
 	Docs     []string `json:"docs,omitempty"`
+	// StoreVersion is the document store's current version (bumped by every
+	// RegisterDoc).
+	StoreVersion uint64 `json:"store_version"`
+	// Cache is the result cache's counter snapshot, present when caching is
+	// enabled.
+	Cache *store.CacheStats `json:"cache,omitempty"`
 }
 
 // handleHealthz serves GET /healthz: 200 ok while accepting, 503 once
-// draining, with the in-flight query count and the loaded document names.
+// draining, with the in-flight query count, the loaded document names, the
+// store version and the result-cache counters.
 func (s *Server) handleHealthz(w *statusWriter, r *http.Request) {
-	docs := make([]string, 0, len(s.engine.Store))
-	for name := range s.engine.Store {
-		docs = append(docs, name)
+	snap := s.engine.Docs.Snapshot()
+	out := healthResponse{
+		Status:       "ok",
+		Inflight:     s.inflight.Load(),
+		Docs:         snap.Docs(),
+		StoreVersion: snap.Version(),
 	}
-	sort.Strings(docs)
-	out := healthResponse{Status: "ok", Inflight: s.inflight.Load(), Docs: docs}
+	if s.engine.Cache != nil {
+		stats := s.engine.Cache.Stats()
+		out.Cache = &stats
+	}
 	status := http.StatusOK
 	if s.draining.Load() {
 		out.Status = "draining"

@@ -36,6 +36,7 @@ import (
 	"gqldb/internal/exec"
 	"gqldb/internal/graph"
 	"gqldb/internal/obs"
+	"gqldb/internal/store"
 )
 
 // Config carries the server's operational knobs; zero values take the
@@ -109,8 +110,8 @@ func New(cfg Config) *Server {
 	if cfg.Engine == nil {
 		cfg.Engine = exec.New(exec.Store{})
 	}
-	if cfg.Engine.Store == nil {
-		cfg.Engine.Store = exec.Store{}
+	if cfg.Engine.Docs == nil {
+		cfg.Engine.Docs = store.New(store.Options{})
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
@@ -142,11 +143,13 @@ func New(cfg Config) *Server {
 }
 
 // RegisterDoc binds a document name (the target of doc("...") clauses) to a
-// collection. Coordinator-only: it writes the engine's store map without
-// synchronization, so call it during startup, before the server accepts
-// requests (enforced by gqlvet's gosafe table).
-func (s *Server) RegisterDoc(name string, c graph.Collection) {
-	s.engine.Store[name] = c
+// collection through the engine's versioned store and returns the new store
+// version. Safe to call at any time, including while queries are running:
+// in-flight queries finish against the snapshot they started with, and the
+// version bump invalidates the result cache so no later query sees stale
+// data.
+func (s *Server) RegisterDoc(name string, c graph.Collection) uint64 {
+	return s.engine.Docs.RegisterDoc(name, c)
 }
 
 // Inflight returns the number of currently admitted queries.

@@ -1,0 +1,88 @@
+package store_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gqldb/internal/algebra"
+	"gqldb/internal/exec"
+	"gqldb/internal/match"
+	"gqldb/internal/store"
+)
+
+// BenchmarkShardedSelection compares the coordinator fan-out against the
+// serial unsharded scan it must stay byte-identical to. Run via
+// `make bench-store`; the sharded/workers=N variants should beat serial on
+// multi-core machines (the merge is O(matches), so the fan-out dominates).
+func BenchmarkShardedSelection(b *testing.B) {
+	coll := randomCollection(400, 9)
+	p := abPattern(b)
+	if err := p.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	opt := match.Options{Exhaustive: true}
+	ctx := context.Background()
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.SelectionContext(ctx, p, coll, opt, nil, 1, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{4, 8} {
+		s := store.New(store.Options{Shards: shards})
+		s.RegisterDoc("db", coll)
+		d, ok := s.Snapshot().Doc("db")
+		if !ok {
+			b.Fatal("doc not registered")
+		}
+		workers := runtime.GOMAXPROCS(0)
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+			co := &store.Coordinator{}
+			for i := 0; i < b.N; i++ {
+				st := &match.Stats{}
+				if _, err := co.Select(ctx, d, p, opt, nil, workers, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheHit measures the full RunQuery path when the result cache
+// answers: parse + canonical key + deep clone of the cached result, with no
+// evaluation. The miss variant is the same query with the cache disabled,
+// so the pair bounds what a hit saves.
+func BenchmarkCacheHit(b *testing.B) {
+	coll := randomCollection(120, 15)
+	run := func(b *testing.B, cached bool) {
+		s := store.New(store.Options{Shards: 4})
+		s.RegisterDoc("db", coll)
+		e := exec.NewOver(s)
+		e.Workers = runtime.GOMAXPROCS(0)
+		if cached {
+			e.Cache = store.NewCache(8)
+		}
+		ctx := context.Background()
+		if _, err := e.RunQuery(ctx, storeQuery); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.RunQuery(ctx, storeQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cached {
+			b.StopTimer()
+			if st := e.Cache.Stats(); st.Hits < int64(b.N) {
+				b.Fatalf("expected >=%d cache hits, got %+v", b.N, st)
+			}
+		}
+	}
+	b.Run("hit", func(b *testing.B) { run(b, true) })
+	b.Run("miss", func(b *testing.B) { run(b, false) })
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"gqldb/internal/obs"
+)
+
+// CacheKey identifies one cached whole-program result. Program is the
+// canonical token-stream rendering of the source (whitespace- and
+// comment-insensitive), Docs the sorted NUL-joined document names the
+// program reads, and Version the store version of the snapshot the result
+// was computed from. Worker count is deliberately absent: parallelism never
+// changes a result, so any worker setting may serve any cached entry.
+type CacheKey struct {
+	Program string
+	Docs    string
+	Version uint64
+}
+
+// CacheStats is one cache's counter snapshot (the process-wide equivalents
+// live in internal/obs; these are per-cache, for /healthz).
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Capacity      int   `json:"capacity"`
+}
+
+// Cache is an LRU result cache with invalidation-by-version: it holds
+// entries for exactly one store version at a time (the newest it has seen),
+// so a store mutation — which bumps the version — implicitly purges every
+// older entry on the next access. Staleness is therefore structurally
+// impossible: an entry can only be served to a key carrying the same
+// version it was stored under, and version numbers never repeat.
+//
+// Values are opaque (any); the engine layer owns cloning in and out so a
+// cached result is never aliased by two callers.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	latest   uint64
+	order    *list.List // front = most recent; values are *cacheEntry
+	entries  map[CacheKey]*list.Element
+
+	hits, misses, evictions, invalidations int64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	val any
+}
+
+// NewCache returns a cache holding at most capacity entries (min 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[CacheKey]*list.Element),
+	}
+}
+
+// SetCapacity resizes the cache bound. Startup-only: not synchronized
+// against concurrent Get/Put (enforced by gqlvet's gosafe table).
+func (c *Cache) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.capacity = n
+	for c.order.Len() > c.capacity {
+		c.evictOldest()
+	}
+}
+
+// Get returns the entry for key, if present and current. A key carrying a
+// newer version than any seen purges the cache first (the mutation
+// happened; everything held is stale); a key older than the latest seen
+// can never hit.
+func (c *Cache) Get(key CacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(key.Version)
+	if key.Version < c.latest {
+		c.miss()
+		return nil, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.miss()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	obs.CacheHits.Inc()
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least-recently-used entry past
+// capacity. Entries for versions older than the newest seen are discarded
+// rather than stored — a result computed from a pre-mutation snapshot must
+// never become servable after the mutation.
+func (c *Cache) Put(key CacheKey, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(key.Version)
+	if key.Version < c.latest {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.capacity {
+		c.evictOldest()
+		c.evictions++
+		obs.CacheEvictions.Inc()
+	}
+}
+
+// Stats returns the cache's counter snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.order.Len(),
+		Capacity:      c.capacity,
+	}
+}
+
+// advance moves the single live version forward, purging all held entries
+// when it does. Callers hold c.mu.
+func (c *Cache) advance(version uint64) {
+	if version <= c.latest {
+		return
+	}
+	if c.order.Len() > 0 {
+		c.invalidations++
+		obs.CacheInvalidations.Inc()
+		c.order.Init()
+		clear(c.entries)
+	}
+	c.latest = version
+}
+
+// miss counts one miss. Callers hold c.mu.
+func (c *Cache) miss() {
+	c.misses++
+	obs.CacheMisses.Inc()
+}
+
+// evictOldest drops the back of the LRU list. Callers hold c.mu.
+func (c *Cache) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*cacheEntry).key)
+}

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"context"
+	"time"
+
+	"gqldb/internal/algebra"
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/obs"
+	"gqldb/internal/pattern"
+	"gqldb/internal/pool"
+)
+
+// ShardRequest is one shard's slice of a selection: the shard to scan plus
+// the matching options. It is a plain value struct so a future RPC shard
+// client can serialize it as-is (the pattern travels by source text in that
+// world; in-process it is the compiled pattern pointer).
+type ShardRequest struct {
+	Shard *Shard
+	P     *pattern.Pattern
+	Opt   match.Options
+	// IxFor supplies optional per-graph access structures (the §4.1 value
+	// indexes), exactly as in algebra.SelectionContext. Not serializable —
+	// an RPC implementation rebuilds it shard-side.
+	IxFor func(*graph.Graph) *match.Index
+	// Workers bounds the shard-local fan-out (resolved, >= 1).
+	Workers int
+}
+
+// ShardResult is one shard's answer: per-member match groups plus the
+// filter counters the coordinator aggregates into its trace span.
+type ShardResult struct {
+	// Groups is parallel to Shard.Coll: Groups[i] holds the bindings of
+	// member graph i in discovery order (nil when it matched nothing or was
+	// pruned by the shard index).
+	Groups []algebra.Matched
+	// Candidates is how many member graphs survived the shard-index filter
+	// and were actually verified.
+	Candidates int
+}
+
+// ShardSelector evaluates selection over a single shard. This interface is
+// the multi-process seam: LocalSelector runs in-process; a future RPC
+// client implements the same contract against a remote shard server, and
+// the Coordinator's fan-out/merge does not change.
+type ShardSelector interface {
+	SelectShard(ctx context.Context, req ShardRequest) (ShardResult, error)
+}
+
+// LocalSelector is the in-process ShardSelector: index-filter the shard's
+// members (when the shard carries a path index), then match the survivors
+// on a bounded worker pool.
+type LocalSelector struct{}
+
+// SelectShard implements ShardSelector. req.P must already be compiled
+// (the Coordinator compiles once before fan-out; concurrent Compile calls
+// on a compiled pattern only read the done flag).
+func (LocalSelector) SelectShard(ctx context.Context, req ShardRequest) (ShardResult, error) {
+	sh := req.Shard
+	res := ShardResult{Groups: make([]algebra.Matched, len(sh.Coll))}
+	// Shard-local candidate set: ordinals into sh.Coll. A nil slice from a
+	// carrying index is proof no member can match (gindex contract).
+	var work []int32
+	if sh.Ix != nil {
+		cands, err := sh.Ix.Candidates(req.P)
+		if err != nil {
+			return res, err
+		}
+		work = cands
+		obs.GindexCandidates.Add(int64(len(cands)))
+		obs.GindexPruned.Add(int64(len(sh.Coll) - len(cands)))
+	} else {
+		work = make([]int32, len(sh.Coll))
+		for i := range work {
+			work[i] = int32(i)
+		}
+	}
+	res.Candidates = len(work)
+	workers := pool.Workers(req.Workers, len(work))
+	err := pool.Run(ctx, len(work), workers, func(i int) error {
+		li := work[i]
+		g := sh.Coll[li]
+		var ix *match.Index
+		if req.IxFor != nil {
+			ix = req.IxFor(g)
+		}
+		maps, _, err := match.FindContext(ctx, req.P, g, ix, req.Opt)
+		if err != nil {
+			return err
+		}
+		for _, m := range maps {
+			res.Groups[li] = append(res.Groups[li], &algebra.MatchedGraph{P: req.P, G: g, M: m})
+		}
+		return nil
+	})
+	return res, err
+}
+
+// Coordinator fans a selection across a document's shards and merges the
+// per-shard answers back into canonical collection order. Selector defaults
+// to the in-process LocalSelector; swapping in an RPC implementation turns
+// this into the multi-process query router without touching the merge.
+type Coordinator struct {
+	Selector ShardSelector
+}
+
+// Select evaluates σ_P over the document: every shard is handed to the
+// selector on the worker pool, and the per-shard match groups are placed
+// into slots addressed by canonical ordinal — so the concatenated output is
+// byte-identical to a serial scan of the unsharded collection (same graph
+// order, same binding order within each graph).
+//
+// workers bounds the total fan-out: shards run concurrently (at most
+// workers at once) and each shard's local pool gets an equal share, so the
+// end-to-end goroutine count stays ~workers regardless of shard count.
+func (co *Coordinator) Select(ctx context.Context, d *Doc, p *pattern.Pattern, opt match.Options, ixFor func(*graph.Graph) *match.Index, workers int, stats *match.Stats) (algebra.Matched, error) {
+	if err := p.Compile(); err != nil {
+		return nil, err
+	}
+	sel := co.Selector
+	if sel == nil {
+		sel = LocalSelector{}
+	}
+	shards := d.Shards()
+	resolved := pool.Workers(workers, d.Len())
+	outer := resolved
+	if outer > len(shards) {
+		outer = len(shards)
+	}
+	inner := resolved / len(shards)
+	if inner < 1 {
+		inner = 1
+	}
+	sctx, sp := obs.StartSpan(ctx, "sharded-selection")
+	if sp != nil {
+		sp.Add("items", int64(d.Len()))
+		sp.Add("shards", int64(len(shards)))
+		sp.Add("workers", int64(resolved))
+	}
+	start := time.Now()
+	results := make([]ShardResult, len(shards))
+	err := pool.Run(sctx, len(shards), outer, func(i int) error {
+		req := ShardRequest{Shard: shards[i], P: p, Opt: opt, IxFor: ixFor, Workers: inner}
+		res, err := sel.SelectShard(sctx, req)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	wall := time.Since(start)
+	obs.ShardedSelections.Inc()
+	obs.SelectionSeconds.Observe(wall)
+	stats.RecordOp("sharded-selection", d.Len(), resolved, wall)
+	// Merge: shard-local groups land in canonical-ordinal slots, then the
+	// slots concatenate ascending — the exact order of a serial scan.
+	slots := make([]algebra.Matched, d.Len())
+	candidates := 0
+	for si, res := range results {
+		candidates += res.Candidates
+		for li, group := range res.Groups {
+			if group != nil {
+				slots[shards[si].Ords[li]] = group
+			}
+		}
+	}
+	var out algebra.Matched
+	for _, ms := range slots {
+		out = append(out, ms...)
+	}
+	obs.Matches.Add(int64(len(out)))
+	if sp != nil {
+		sp.Add("cand_shards", int64(candidates))
+		sp.Add("matches", int64(len(out)))
+	}
+	sp.SetAttr("pattern", p.Name)
+	sp.End()
+	return out, nil
+}

@@ -1,0 +1,299 @@
+// Package store is the versioned, sharded document layer under the query
+// engine. The paper's access methods (§4) assume a database of many small
+// graphs scanned and pruned per query; at production scale that scan is the
+// dominant cost, so the store partitions every registered collection into
+// hash-addressed shards (each with its own optional path-feature index, the
+// GraphGrep-style filter of internal/gindex) and serves queries from
+// immutable snapshots:
+//
+//   - Versioning: the store carries a monotonic version, bumped by every
+//     RegisterDoc/RemoveDoc. Whole-program result caching keys on it, so a
+//     mutation implicitly invalidates every cached result.
+//   - Snapshots: readers take a Snapshot — an immutable view of all
+//     documents at one version. In-flight queries keep their snapshot for
+//     the whole program, so a concurrent mutation never tears a result.
+//   - Sharding: each document's collection is hash-partitioned at
+//     registration. The Coordinator (coordinator.go) fans selection across
+//     shards and merges matches back into the exact order a serial scan of
+//     the unsharded collection would produce.
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"gqldb/internal/gindex"
+	"gqldb/internal/graph"
+	"gqldb/internal/obs"
+)
+
+// Options configures a DocStore.
+type Options struct {
+	// Shards is the number of hash partitions per registered document.
+	// 0 or 1 keeps documents unsharded (a single shard holding the whole
+	// collection) — the exact behavior of the pre-store engine.
+	Shards int
+	// IndexMaxLen, when positive, builds a per-shard path-feature index
+	// (gindex.Build with this maximum path length) at registration, so the
+	// for-clause filters candidates inside every shard before matching.
+	// Building enumerates simple paths of each member graph; enable it for
+	// collections of small graphs, not for one huge dense graph.
+	IndexMaxLen int
+}
+
+// Store is the engine-facing interface of the document layer: versioned
+// reads through consistent snapshots and versioned writes. DocStore is the
+// in-process implementation; the interface is the seam a future
+// multi-process deployment implements with an RPC client.
+type Store interface {
+	// Snapshot returns an immutable view of every document at one version.
+	Snapshot() *Snapshot
+	// Version returns the current store version.
+	Version() uint64
+	// RegisterDoc binds name to the collection (replacing any previous
+	// binding), bumps the store version and returns it.
+	RegisterDoc(name string, c graph.Collection) uint64
+	// RemoveDoc unbinds name (a no-op bump if absent) and returns the new
+	// version.
+	RemoveDoc(name string) uint64
+}
+
+// DocStore is the in-process Store: a copy-on-write document map under a
+// mutex. Writes clone the map (documents themselves are immutable after
+// registration), so snapshots are O(1) pointer grabs and never block
+// queries; RegisterDoc is safe to call while queries run.
+type DocStore struct {
+	opts Options
+
+	mu      sync.RWMutex
+	version uint64
+	docs    map[string]*Doc
+}
+
+// New returns an empty DocStore with the given options.
+func New(opts Options) *DocStore {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	return &DocStore{opts: opts, docs: map[string]*Doc{}}
+}
+
+// FromMap wraps a plain document map (the legacy exec.Store shape) into an
+// unsharded, unindexed DocStore — the compatibility constructor behind
+// exec.New. The map is read once; later changes to it are not observed.
+func FromMap(m map[string]graph.Collection) *DocStore {
+	s := New(Options{})
+	// Deterministic registration order so version numbers are reproducible.
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.RegisterDoc(name, m[name])
+	}
+	return s
+}
+
+// Snapshot returns the current immutable view.
+func (s *DocStore) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &Snapshot{version: s.version, docs: s.docs}
+}
+
+// Version returns the current store version.
+func (s *DocStore) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// RegisterDoc partitions c into the store's shard count (building per-shard
+// indexes when configured), installs it under name and bumps the version.
+// The collection slice is captured as the document's canonical order; do
+// not mutate it (or its graphs) after registration.
+func (s *DocStore) RegisterDoc(name string, c graph.Collection) uint64 {
+	b := NewDocBuilder(name, s.opts.Shards, s.opts.IndexMaxLen)
+	for _, g := range c {
+		b.Add(g)
+	}
+	return s.install(name, b.Build())
+}
+
+// RemoveDoc unbinds name and bumps the version.
+func (s *DocStore) RemoveDoc(name string) uint64 {
+	return s.install(name, nil)
+}
+
+// install copy-on-writes the document map: d == nil removes the binding.
+func (s *DocStore) install(name string, d *Doc) uint64 {
+	obs.StoreMutations.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make(map[string]*Doc, len(s.docs)+1)
+	for k, v := range s.docs {
+		next[k] = v
+	}
+	if d == nil {
+		delete(next, name)
+	} else {
+		next[name] = d
+	}
+	s.docs = next
+	s.version++
+	return s.version
+}
+
+// Snapshot is one immutable view of the store: the documents present at a
+// single version. Queries hold a snapshot for their whole program, so every
+// for-clause of one program reads the same data even while RegisterDoc runs
+// concurrently.
+type Snapshot struct {
+	version uint64
+	docs    map[string]*Doc
+}
+
+// emptySnapshot serves engines constructed without a store.
+var emptySnapshot = &Snapshot{}
+
+// EmptySnapshot returns a shared snapshot of nothing at version 0.
+func EmptySnapshot() *Snapshot { return emptySnapshot }
+
+// Version returns the snapshot's store version.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Doc returns the named document.
+func (sn *Snapshot) Doc(name string) (*Doc, bool) {
+	d, ok := sn.docs[name]
+	return d, ok
+}
+
+// Docs returns the bound document names, sorted.
+func (sn *Snapshot) Docs() []string {
+	names := make([]string, 0, len(sn.docs))
+	for name := range sn.docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Doc is one registered document: the collection in its canonical
+// (registration) order plus its hash partition. Immutable after Build.
+type Doc struct {
+	// Name is the binding name (the doc("...") argument).
+	Name string
+
+	coll   graph.Collection
+	shards []*Shard
+}
+
+// Collection returns the document in canonical order. Callers must treat
+// it as read-only.
+func (d *Doc) Collection() graph.Collection { return d.coll }
+
+// Len returns the number of member graphs.
+func (d *Doc) Len() int { return len(d.coll) }
+
+// Shards returns the hash partition. Callers must treat it as read-only.
+func (d *Doc) Shards() []*Shard { return d.shards }
+
+// Sharded reports whether the document is split across more than one shard.
+func (d *Doc) Sharded() bool { return len(d.shards) > 1 }
+
+// Index returns the single shard's path index when the document is
+// unsharded (the whole-document index), else nil: sharded documents are
+// filtered per shard by the Coordinator.
+func (d *Doc) Index() *gindex.Index {
+	if len(d.shards) == 1 {
+		return d.shards[0].Ix
+	}
+	return nil
+}
+
+// Shard is one hash partition of a document: the member graphs it owns,
+// their ordinals in the document's canonical order (ascending — the
+// partition preserves relative order), and an optional path-feature index
+// over just this shard.
+type Shard struct {
+	// Ords maps shard-local position to canonical-collection ordinal.
+	Ords []int32
+	// Coll holds the shard's graphs, parallel to Ords.
+	Coll graph.Collection
+	// Ix is the shard-local path index (nil when indexing is disabled).
+	Ix *gindex.Index
+}
+
+// DocBuilder accumulates a document's collection and partitions it into
+// shards. Add is an unsynchronized mutator: build on one goroutine (the
+// coordinator), then hand the immutable Doc to the store — enforced by
+// gqlvet's gosafe table.
+type DocBuilder struct {
+	name   string
+	shards int
+	ixLen  int
+	coll   graph.Collection
+}
+
+// NewDocBuilder returns a builder for a document with the given shard count
+// (min 1) and per-shard index path length (0 disables indexing).
+func NewDocBuilder(name string, shards, indexMaxLen int) *DocBuilder {
+	if shards < 1 {
+		shards = 1
+	}
+	return &DocBuilder{name: name, shards: shards, ixLen: indexMaxLen}
+}
+
+// Add appends g to the document under construction. Coordinator-only: not
+// safe for concurrent use.
+func (b *DocBuilder) Add(g *graph.Graph) { b.coll = append(b.coll, g) }
+
+// Build partitions the accumulated collection and builds the per-shard
+// indexes. The returned Doc is immutable; the builder must not be reused.
+func (b *DocBuilder) Build() *Doc {
+	d := &Doc{Name: b.name, coll: b.coll}
+	n := b.shards
+	if n > len(b.coll) && len(b.coll) > 0 {
+		// Never materialize more shards than graphs; empty shards only cost
+		// fan-out overhead. An empty collection keeps one empty shard so the
+		// doc always has a partition.
+		n = len(b.coll)
+	}
+	if len(b.coll) == 0 {
+		n = 1
+	}
+	shards := make([]*Shard, n)
+	for i := range shards {
+		shards[i] = &Shard{}
+	}
+	for ord, g := range b.coll {
+		si := shardOf(g, ord, n)
+		sh := shards[si]
+		sh.Ords = append(sh.Ords, int32(ord))
+		sh.Coll = append(sh.Coll, g)
+	}
+	if b.ixLen > 0 {
+		for _, sh := range shards {
+			sh.Ix = gindex.Build(sh.Coll, b.ixLen)
+		}
+	}
+	d.shards = shards
+	return d
+}
+
+// shardOf hashes a member graph to a shard: FNV-1a over the graph name
+// mixed with the canonical ordinal, so collections of identically-named
+// graphs still spread evenly and the assignment is deterministic across
+// processes (a requirement for the future multi-process deployment, where
+// each process owns a shard subset).
+func shardOf(g *graph.Graph, ord, shards int) int {
+	if shards == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(g.Name))
+	v := h.Sum32() ^ (uint32(ord) * 2654435761)
+	return int(v % uint32(shards))
+}
