@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs bench-store check
+.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs bench-store bench-vet check
 
 all: check
 
@@ -30,10 +30,10 @@ race:
 vet:
 	$(GO) vet ./...
 
-## gqlvet: run the project-specific analyzers (internal/analysis);
-## non-zero exit on any finding
+## gqlvet: run the project-specific analyzers (internal/analysis) over
+## the module, _test.go files included; non-zero exit on any finding
 gqlvet:
-	$(GO) run ./cmd/gqlvet ./...
+	$(GO) run ./cmd/gqlvet -tests ./...
 
 ## fuzz-smoke: brief fuzz of the parsers, the binary/TSV graph readers,
 ## the expression evaluator and the HTTP query frontend (panics and 500s
@@ -50,15 +50,26 @@ fuzz-smoke:
 
 ## bench-obs: tracing-overhead guard — the off variant must stay within
 ## noise of BenchmarkParallelExec (observability disabled is one context
-## lookup per operator)
+## lookup per operator); the run is recorded in BENCH_obs.json (commit
+## the refreshed file to keep the trajectory in git history)
 bench-obs:
-	$(GO) test -run '^$$' -bench 'BenchmarkTracingOverhead|BenchmarkParallelExec' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkTracingOverhead|BenchmarkParallelExec' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
 
 ## bench-store: storage-layer guard — compiles and runs the sharded
 ## fan-out and result-cache benchmarks (cache hits must be cheaper than
-## re-evaluation; the hit variant asserts the cache actually answered)
+## re-evaluation; the hit variant asserts the cache actually answered);
+## recorded in BENCH_store.json
 bench-store:
-	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 1x ./internal/store
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 1x -benchmem ./internal/store \
+		| $(GO) run ./cmd/benchjson -o BENCH_store.json
+
+## bench-vet: analyzer-suite latency — one full gqlvet pass (parse,
+## type-check, all eight analyzers) over the driver's fixture module;
+## recorded in BENCH_vet.json
+bench-vet:
+	$(GO) test -run '^$$' -bench 'BenchmarkVet' -benchtime 1x -benchmem ./cmd/gqlvet \
+		| $(GO) run ./cmd/benchjson -o BENCH_vet.json
 
 ## check: everything CI runs
 check: build vet gqlvet test test-server race fuzz-smoke

@@ -1,0 +1,156 @@
+// Command benchjson turns `go test -bench -benchmem` output into a small
+// committed JSON artifact (BENCH_*.json) so benchmark trajectories live in
+// git history next to the code they measure. It reads the benchmark run
+// from stdin, echoes it through to stdout (the human still sees the run),
+// and writes the parsed document to -o stamped with the git commit and
+// date.
+//
+// Exit codes: 0 on success, 1 when the input contains no benchmark lines
+// or reports FAIL, 2 on usage/IO errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchDoc is the emitted artifact.
+type benchDoc struct {
+	Commit     string        `json:"commit"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+var benchLineRE = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// parseBench scans benchmark output, returning the parsed lines and
+// whether a FAIL marker was seen.
+func parseBench(r io.Reader, echo io.Writer) ([]benchResult, bool, error) {
+	var out []benchResult
+	failed := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			failed = true
+		}
+		m := benchLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i++ {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, failed, sc.Err()
+}
+
+// gitCommit returns the short HEAD hash, or "unknown" outside a checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the body, separated from main for testing.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("o", "", "output JSON file (required)")
+	commit := fs.String("commit", "", "commit hash to stamp (default: git rev-parse --short HEAD)")
+	date := fs.String("date", "", "date to stamp, YYYY-MM-DD (default: today, UTC)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *outPath == "" {
+		fmt.Fprintln(stderr, "benchjson: -o is required")
+		return 2
+	}
+
+	results, failed, err := parseBench(stdin, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	if failed {
+		fmt.Fprintln(stderr, "benchjson: input reports FAIL; not writing", *outPath)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input; not writing", *outPath)
+		return 1
+	}
+
+	doc := benchDoc{
+		Commit:     *commit,
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	if doc.Commit == "" {
+		doc.Commit = gitCommit()
+	}
+	if doc.Date == "" {
+		doc.Date = time.Now().UTC().Format("2006-01-02")
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *outPath)
+	return 0
+}

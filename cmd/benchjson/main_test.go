@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: gqldb/internal/store
+cpu: Example CPU
+BenchmarkShardedSelection-8   	     100	  12345678 ns/op	 4096 B/op	      12 allocs/op
+BenchmarkCacheHit-8           	 5000000	       0.5 ns/op	    0 B/op	       0 allocs/op
+PASS
+ok  	gqldb/internal/store	1.234s
+`
+
+// TestParseBench pins the line parser against representative output.
+func TestParseBench(t *testing.T) {
+	results, failed, err := parseBench(strings.NewReader(sampleRun), nil)
+	if err != nil || failed {
+		t.Fatalf("parseBench: err=%v failed=%v", err, failed)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkShardedSelection-8" || r.Iterations != 100 ||
+		r.NsPerOp != 12345678 || r.BytesPerOp != 4096 || r.AllocsPerOp != 12 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if results[1].NsPerOp != 0.5 {
+		t.Errorf("fractional ns/op = %v, want 0.5", results[1].NsPerOp)
+	}
+}
+
+// TestParseBenchFail pins FAIL detection.
+func TestParseBenchFail(t *testing.T) {
+	_, failed, err := parseBench(strings.NewReader("--- FAIL: BenchmarkX\nFAIL\n"), nil)
+	if err != nil || !failed {
+		t.Fatalf("failed=%v err=%v, want failed=true", failed, err)
+	}
+}
+
+// TestRunWritesDoc pins the full artifact: stamped fields plus parsed
+// benchmarks, and the input echoed to stdout.
+func TestRunWritesDoc(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-o", path, "-commit", "abc1234", "-date", "2026-01-02"},
+		strings.NewReader(sampleRun), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkCacheHit-8") {
+		t.Errorf("stdout does not echo the run: %q", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading artifact: %v", err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshaling artifact: %v", err)
+	}
+	if doc.Commit != "abc1234" || doc.Date != "2026-01-02" || len(doc.Benchmarks) != 2 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.GoVersion == "" || doc.GOOS == "" || doc.GOARCH == "" {
+		t.Errorf("doc missing environment stamps: %+v", doc)
+	}
+}
+
+// TestRunRejectsEmptyAndFail pins the non-zero exits.
+func TestRunRejectsEmptyAndFail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", path}, strings.NewReader("PASS\n"), &stdout, &stderr); code != 1 {
+		t.Errorf("empty input: exit = %d, want 1", code)
+	}
+	if code := run([]string{"-o", path}, strings.NewReader(sampleRun+"FAIL\n"), &stdout, &stderr); code != 1 {
+		t.Errorf("FAIL input: exit = %d, want 1", code)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("artifact written despite bad input")
+	}
+	if code := run(nil, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("missing -o: exit = %d, want 2", code)
+	}
+}

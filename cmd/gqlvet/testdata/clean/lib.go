@@ -1,0 +1,5 @@
+// Package cleanmod has nothing for any analyzer to say.
+package cleanmod
+
+// Two returns 2.
+func Two() int { return 2 }

@@ -1,0 +1,15 @@
+// Package match trips two analyzers deterministically for the driver
+// golden test.
+package match
+
+import "fmt"
+
+// Boom trips panicfree.
+func Boom() {
+	panic("match: boom")
+}
+
+// Bad trips errwrap (unprefixed message, no %w).
+func Bad() error {
+	return fmt.Errorf("no prefix here")
+}

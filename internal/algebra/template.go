@@ -140,7 +140,7 @@ func (t *Template) Instantiate(args map[string]Operand) (*graph.Graph, error) {
 
 // rep follows unification links to the representative node.
 func (ins *instantiation) rep(v graph.NodeID) graph.NodeID {
-	for {
+	for { //gqlvet:ignore ctxpoll -- union-find link chase; merged is acyclic by construction, depth bounded by node count
 		w, ok := ins.merged[v]
 		if !ok {
 			return v
@@ -181,7 +181,7 @@ func (ins *instantiation) freshName(name string) string {
 		return name
 	}
 	// The suffix keeps names valid identifiers so results re-parse.
-	for i := 2; ; i++ {
+	for i := 2; ; i++ { //gqlvet:ignore ctxpoll -- terminates at the first free suffix; bounded by result node count
 		c := name + "_" + strconv.Itoa(i)
 		if _, taken := ins.out.NodeByName(c); !taken {
 			return c

@@ -103,6 +103,9 @@ func All() []*Analyzer {
 		GoSafe,
 		ErrWrap,
 		RecBound,
+		CtxPoll,
+		DetMerge,
+		AliasGuard,
 	}
 }
 

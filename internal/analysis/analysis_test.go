@@ -60,7 +60,7 @@ func parseExpectations(t *testing.T, root string) []expectation {
 func TestAnalyzersOnCorpus(t *testing.T) {
 	root := filepath.Join("testdata", "src", "gqldb")
 	fset := token.NewFileSet()
-	passes, err := analysis.Load(fset, root, "gqldb")
+	passes, err := analysis.LoadOpts(fset, root, "gqldb", analysis.LoadOptions{IncludeTests: true})
 	if err != nil {
 		t.Fatalf("loading corpus: %v", err)
 	}
@@ -107,14 +107,15 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 	}
 }
 
-// TestSelfClean runs the full suite over this repository itself — the
-// acceptance bar for cmd/gqlvet: the shipped tree must be finding-free.
+// TestSelfClean runs the full suite over this repository itself — tests
+// included — the acceptance bar for cmd/gqlvet -tests: the shipped tree
+// must be finding-free.
 func TestSelfClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
 	fset := token.NewFileSet()
-	passes, err := analysis.LoadModule(fset, filepath.Join("..", ".."))
+	passes, err := analysis.LoadModuleOpts(fset, filepath.Join("..", ".."), analysis.LoadOptions{IncludeTests: true})
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}

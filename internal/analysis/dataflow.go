@@ -1,0 +1,1020 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// dataflow.go: the intra-function dataflow layer the condition-sensitive
+// analyzers (recbound, ctxpoll, detmerge, aliasguard) build on. It turns
+// one function body into basic blocks connected by control edges, computes
+// dominators over them, and runs reaching definitions at statement
+// granularity. The model is deliberately small:
+//
+//   - FuncLit bodies are excluded — a literal is its own funcUnit with its
+//     own CFG, because its body runs on its own control paths (often on
+//     another goroutine).
+//   - panic and os.Exit fall through like ordinary calls. That
+//     over-approximates the path set, which only makes dominance harder to
+//     establish — the conservative direction for every current client.
+//   - goto adds an edge to the synthetic exit block and marks the CFG
+//     imprecise; none of the analyzers weaken their verdicts on it today,
+//     and the tree has no gotos.
+
+// CondKind says which control position a condition expression occupies.
+type CondKind int
+
+const (
+	CondIf CondKind = iota
+	CondFor
+	CondRange
+	CondSwitchTag
+	CondCase
+	CondSelectComm
+)
+
+// Cond is one condition evaluated at the end of a block: the guarding
+// expression of a branch, the tag or case list of a switch, the operand of
+// a range, or the communication of a select clause (Expr nil, Comm set).
+type Cond struct {
+	Kind CondKind
+	Expr ast.Expr // nil for CondSelectComm
+	Comm ast.Stmt // the select communication statement, CondSelectComm only
+}
+
+// Block is one basic block: simple statements in execution order, then the
+// conditions that choose among successors.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Conds []Cond
+	Succs []*Block
+	Preds []*Block
+}
+
+// Loop is the CFG shape of one for/range statement. Head evaluates the
+// condition (or range operand) once per iteration; Latch is the unique
+// block every continuing iteration passes through on its way back to Head
+// (the post statement lives there); Exit is where break and a false
+// condition land. A statement that must run every iteration is exactly a
+// statement whose block dominates Latch.
+type Loop struct {
+	Stmt  ast.Stmt
+	Head  *Block
+	Body  *Block
+	Latch *Block
+	Exit  *Block
+}
+
+// CFG is the control-flow graph of one function unit.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Imprecise is set when the body contains a construct the builder
+	// models conservatively (goto).
+	Imprecise bool
+
+	loops     map[ast.Stmt]*Loop
+	nodeBlock map[ast.Node]*Block
+
+	dom [][]bool // dom[i][j]: block j dominates block i; lazily built
+}
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{
+		loops:     map[ast.Stmt]*Loop{},
+		nodeBlock: map[ast.Node]*Block{},
+	}
+	b := &cfgBuilder{cfg: c}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, c.Exit)
+	}
+	c.index()
+	return c
+}
+
+// LoopOf returns the loop shape of a for/range statement, or nil.
+func (c *CFG) LoopOf(s ast.Stmt) *Loop { return c.loops[s] }
+
+// BlockOf returns the basic block that evaluates n (a simple statement, a
+// condition expression, or anything nested inside one — FuncLit interiors
+// excluded), or nil for nodes outside this unit.
+func (c *CFG) BlockOf(n ast.Node) *Block { return c.nodeBlock[n] }
+
+// Dominates reports whether every path from the entry to b passes through
+// a. Unreachable blocks are treated as dominated by everything (dead code
+// never defeats an invariant).
+func (c *CFG) Dominates(a, b *Block) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if c.dom == nil {
+		c.computeDominators()
+	}
+	return c.dom[b.Index][a.Index]
+}
+
+// index assigns block indices and fills the node→block map.
+func (c *CFG) index() {
+	for i, blk := range c.Blocks {
+		blk.Index = i
+		for _, s := range blk.Stmts {
+			mapNodes(c.nodeBlock, s, blk)
+		}
+		for _, cond := range blk.Conds {
+			if cond.Expr != nil {
+				mapNodes(c.nodeBlock, cond.Expr, blk)
+			}
+		}
+	}
+}
+
+// mapNodes records every node under root (FuncLit interiors excluded) as
+// belonging to blk. Control statements are recorded shallowly by the
+// builder, so root here is always a simple statement or an expression.
+func mapNodes(m map[ast.Node]*Block, root ast.Node, blk *Block) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			m[lit] = blk // the literal value is made here; its body is not
+			return false
+		}
+		m[n] = blk
+		return true
+	})
+}
+
+// computeDominators runs the classic iterative dataflow:
+// dom(entry) = {entry}; dom(b) = {b} ∪ ⋂ dom(preds(b)).
+func (c *CFG) computeDominators() {
+	n := len(c.Blocks)
+	reachable := make([]bool, n)
+	var mark func(b *Block)
+	mark = func(b *Block) {
+		if reachable[b.Index] {
+			return
+		}
+		reachable[b.Index] = true
+		for _, s := range b.Succs {
+			mark(s)
+		}
+	}
+	mark(c.Entry)
+
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		if !reachable[i] {
+			// Unreachable: dominated by everything by convention.
+			for j := range dom[i] {
+				dom[i][j] = true
+			}
+			continue
+		}
+		if i == c.Entry.Index {
+			dom[i][i] = true
+			continue
+		}
+		for j := range dom[i] {
+			dom[i][j] = true // start from ⊤ and shrink
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.Blocks {
+			i := b.Index
+			if !reachable[i] || i == c.Entry.Index {
+				continue
+			}
+			next := make([]bool, n)
+			first := true
+			for _, p := range b.Preds {
+				if !reachable[p.Index] {
+					continue
+				}
+				if first {
+					copy(next, dom[p.Index])
+					first = false
+					continue
+				}
+				for j := range next {
+					next[j] = next[j] && dom[p.Index][j]
+				}
+			}
+			if first {
+				// Reachable only via unreachable preds cannot happen (mark
+				// walks succ edges), but keep the entry-like default.
+				next = make([]bool, n)
+			}
+			next[i] = true
+			for j := range next {
+				if next[j] != dom[i][j] {
+					dom[i] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	c.dom = dom
+}
+
+// cfgBuilder incrementally grows a CFG. cur is the block under
+// construction; nil after a terminator (return/branch), in which case the
+// next statement opens a fresh unreachable block so node mapping stays
+// total.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// break/continue targets, innermost last.
+	breaks    []*Block
+	continues []*Block
+	// labeled loop targets by label name.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	// pending label for the next loop/switch statement.
+	pendingLabel string
+	// fallthrough target inside a switch (next case body).
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// current returns the block under construction, opening an unreachable one
+// after a terminator.
+func (b *cfgBuilder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.current().Stmts = append(b.current().Stmts, s.Init)
+		}
+		cond := b.current()
+		cond.Conds = append(cond.Conds, Cond{Kind: CondIf, Expr: s.Cond})
+		b.cfg.nodeBlock[s] = cond
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		afterThen := b.cur
+		var afterElse *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			afterElse = b.cur
+		}
+		join := b.newBlock()
+		if afterThen != nil {
+			b.edge(afterThen, join)
+		}
+		if hasElse {
+			if afterElse != nil {
+				b.edge(afterElse, join)
+			}
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.current().Stmts = append(b.current().Stmts, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.current(), head)
+		if s.Cond != nil {
+			head.Conds = append(head.Conds, Cond{Kind: CondFor, Expr: s.Cond})
+		}
+		body := b.newBlock()
+		latch := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		if s.Post != nil {
+			latch.Stmts = append(latch.Stmts, s.Post)
+		}
+		b.edge(latch, head)
+		b.cfg.nodeBlock[s] = head
+		b.cfg.loops[s] = &Loop{Stmt: s, Head: head, Body: body, Latch: latch, Exit: exit}
+		b.pushLoop(label, exit, latch)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, latch)
+		}
+		b.popLoop(label)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		head := b.newBlock()
+		b.edge(b.current(), head)
+		head.Conds = append(head.Conds, Cond{Kind: CondRange, Expr: s.X})
+		body := b.newBlock()
+		latch := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.edge(latch, head)
+		b.cfg.nodeBlock[s] = head
+		if s.Key != nil {
+			mapNodes(b.cfg.nodeBlock, s.Key, head)
+		}
+		if s.Value != nil {
+			mapNodes(b.cfg.nodeBlock, s.Value, head)
+		}
+		b.cfg.loops[s] = &Loop{Stmt: s, Head: head, Body: body, Latch: latch, Exit: exit}
+		b.pushLoop(label, exit, latch)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, latch)
+		}
+		b.popLoop(label)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.current().Stmts = append(b.current().Stmts, s.Init)
+		}
+		head := b.current()
+		if s.Tag != nil {
+			head.Conds = append(head.Conds, Cond{Kind: CondSwitchTag, Expr: s.Tag})
+		}
+		b.cfg.nodeBlock[s] = head
+		b.switchBody(head, s.Body.List, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Conds = append(blk.Conds, Cond{Kind: CondCase, Expr: e})
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.current().Stmts = append(b.current().Stmts, s.Init)
+		}
+		head := b.current()
+		head.Stmts = append(head.Stmts, s.Assign)
+		b.cfg.nodeBlock[s] = head
+		b.switchBody(head, s.Body.List, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Conds = append(blk.Conds, Cond{Kind: CondCase, Expr: e})
+			}
+		})
+
+	case *ast.SelectStmt:
+		head := b.current()
+		b.cfg.nodeBlock[s] = head
+		join := b.newBlock()
+		b.breaks = append(b.breaks, join)
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			blk.Conds = append(blk.Conds, Cond{Kind: CondSelectComm, Comm: cc.Comm})
+			if cc.Comm != nil {
+				blk.Stmts = append(blk.Stmts, cc.Comm)
+			}
+			b.cur = blk
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		}
+		if len(s.Body.List) == 0 {
+			b.edge(head, join)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = join
+
+	case *ast.BranchStmt:
+		cur := b.current()
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t := b.labelBreak[s.Label.Name]; t != nil {
+					b.edge(cur, t)
+				}
+			} else if len(b.breaks) > 0 {
+				b.edge(cur, b.breaks[len(b.breaks)-1])
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t := b.labelContinue[s.Label.Name]; t != nil {
+					b.edge(cur, t)
+				}
+			} else if len(b.continues) > 0 {
+				b.edge(cur, b.continues[len(b.continues)-1])
+			}
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.edge(cur, b.fallthroughTo)
+			}
+		case token.GOTO:
+			b.cfg.Imprecise = true
+			b.edge(cur, b.cfg.Exit)
+		}
+		b.cfg.nodeBlock[s] = cur
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		cur := b.current()
+		cur.Stmts = append(cur.Stmts, s)
+		b.edge(cur, b.cfg.Exit)
+		b.cur = nil
+
+	default:
+		// Simple statement: assignments, declarations, expressions, send,
+		// inc/dec, defer, go, empty.
+		b.current().Stmts = append(b.current().Stmts, s)
+	}
+}
+
+// switchBody builds the per-case blocks of a switch or type switch. Every
+// case block is a successor of head (evaluation order among cases is not
+// modeled; head dominating all cases is what the clients need). addConds
+// attaches the clause's case expressions to its block.
+func (b *cfgBuilder) switchBody(head *Block, clauses []ast.Stmt, addConds func(*ast.CaseClause, *Block)) {
+	join := b.newBlock()
+	b.breaks = append(b.breaks, join)
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		addConds(cc, blk)
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+		caseBlocks[i] = blk
+	}
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		if i+1 < len(caseBlocks) {
+			b.fallthroughTo = caseBlocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = caseBlocks[i]
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.fallthroughTo = nil
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		if b.labelBreak == nil {
+			b.labelBreak = map[string]*Block{}
+			b.labelContinue = map[string]*Block{}
+		}
+		b.labelBreak[label] = brk
+		b.labelContinue[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelContinue, label)
+	}
+}
+
+// ---- reaching definitions ----
+
+// Def is one definition of a local variable: an assignment, a short
+// declaration, a range binding, an inc/dec, or (Rhs nil, Entry true) the
+// variable entering the function as a parameter, receiver or named result.
+type Def struct {
+	Var *types.Var
+	// Rhs is the defining expression: the paired right-hand side for 1:1
+	// assignments, the whole multi-value expression for tuple assignments
+	// (Index says which result), the range operand for range bindings, nil
+	// for zero-value declarations and entry definitions.
+	Rhs   ast.Expr
+	Index int
+	// SelfRef marks definitions that read the previous value (x++, x += e):
+	// the old definitions still flow in.
+	SelfRef bool
+	Entry   bool
+	Range   bool
+	Stmt    ast.Stmt // defining statement; nil for entry and range defs
+}
+
+// RD is the reaching-definitions solution for one function unit, at
+// statement granularity: DefsReaching answers which definitions of a
+// variable may flow into a given use.
+type RD struct {
+	cfg  *CFG
+	info *types.Info
+
+	defs    []*Def
+	byVar   map[*types.Var][]int // def indices per variable
+	byStmt  map[ast.Stmt][]int   // def indices generated by a statement
+	headGen map[*Block][]int     // defs generated in a block's Conds (range bindings)
+	in      map[*Block]map[int]bool
+}
+
+// NewRD computes reaching definitions over the unit's CFG. params holds
+// the declared parameters/receiver/results (from the enclosing FuncDecl or
+// FuncLit type), which become entry definitions.
+func NewRD(cfg *CFG, info *types.Info, params []*types.Var) *RD {
+	r := &RD{
+		cfg:     cfg,
+		info:    info,
+		byVar:   map[*types.Var][]int{},
+		byStmt:  map[ast.Stmt][]int{},
+		headGen: map[*Block][]int{},
+		in:      map[*Block]map[int]bool{},
+	}
+	for _, p := range params {
+		r.addDef(&Def{Var: p, Entry: true})
+	}
+	r.collect()
+	r.solve()
+	return r
+}
+
+func (r *RD) addDef(d *Def) int {
+	idx := len(r.defs)
+	r.defs = append(r.defs, d)
+	r.byVar[d.Var] = append(r.byVar[d.Var], idx)
+	if d.Stmt != nil {
+		r.byStmt[d.Stmt] = append(r.byStmt[d.Stmt], idx)
+	}
+	return idx
+}
+
+// localVar resolves an identifier in definition position to its object.
+func (r *RD) localVar(id *ast.Ident) *types.Var {
+	if id.Name == "_" {
+		return nil
+	}
+	if v, ok := r.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := r.info.Uses[id].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// collect walks every block's statements and conditions recording defs.
+func (r *RD) collect() {
+	for _, blk := range r.cfg.Blocks {
+		for _, s := range blk.Stmts {
+			r.collectStmt(s)
+		}
+		for _, c := range blk.Conds {
+			if c.Kind != CondRange {
+				continue
+			}
+			// Range bindings regenerate in the head each iteration.
+			loop := r.rangeLoopOf(blk)
+			if loop == nil {
+				continue
+			}
+			rs := loop.Stmt.(*ast.RangeStmt)
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				if e == nil {
+					continue
+				}
+				if id, ok := e.(*ast.Ident); ok {
+					if v := r.localVar(id); v != nil {
+						idx := r.addDef(&Def{Var: v, Rhs: rs.X, Range: true})
+						r.headGen[blk] = append(r.headGen[blk], idx)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rangeLoopOf finds the loop whose head is blk.
+func (r *RD) rangeLoopOf(blk *Block) *Loop {
+	for _, l := range r.cfg.loops {
+		if l.Head == blk {
+			return l
+		}
+	}
+	return nil
+}
+
+func (r *RD) collectStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		compound := s.Tok != token.ASSIGN && s.Tok != token.DEFINE
+		for i, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := r.localVar(id)
+			if v == nil {
+				continue
+			}
+			d := &Def{Var: v, Stmt: s, SelfRef: compound}
+			if len(s.Rhs) == len(s.Lhs) {
+				d.Rhs = s.Rhs[i]
+			} else if len(s.Rhs) == 1 {
+				d.Rhs = s.Rhs[0]
+				d.Index = i
+			}
+			r.addDef(d)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			if v := r.localVar(id); v != nil {
+				r.addDef(&Def{Var: v, Stmt: s, SelfRef: true})
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v := r.localVar(name)
+				if v == nil {
+					continue
+				}
+				d := &Def{Var: v, Stmt: s}
+				if len(vs.Values) == len(vs.Names) {
+					d.Rhs = vs.Values[i]
+				} else if len(vs.Values) == 1 {
+					d.Rhs = vs.Values[0]
+					d.Index = i
+				}
+				r.addDef(d)
+			}
+		}
+	}
+}
+
+// gen/kill per block, then the standard worklist iteration.
+func (r *RD) solve() {
+	n := len(r.cfg.Blocks)
+	gen := make([]map[int]bool, n)
+	out := make([]map[int]bool, n)
+	for _, blk := range r.cfg.Blocks {
+		g := map[int]bool{}
+		for _, s := range blk.Stmts {
+			for _, idx := range r.byStmt[s] {
+				d := r.defs[idx]
+				if !d.SelfRef {
+					for _, other := range r.byVar[d.Var] {
+						delete(g, other)
+					}
+				}
+				g[idx] = true
+			}
+		}
+		for _, idx := range r.headGen[blk] {
+			g[idx] = true
+		}
+		gen[blk.Index] = g
+		out[blk.Index] = map[int]bool{}
+		r.in[blk] = map[int]bool{}
+	}
+	// Entry defs flow out of the entry block.
+	entryOut := out[r.cfg.Entry.Index]
+	for idx, d := range r.defs {
+		if d.Entry {
+			entryOut[idx] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range r.cfg.Blocks {
+			in := r.in[blk]
+			for _, p := range blk.Preds {
+				for idx := range out[p.Index] {
+					if !in[idx] {
+						in[idx] = true
+						changed = true
+					}
+				}
+			}
+			o := out[blk.Index]
+			// out = gen ∪ (in − kill): a def survives unless the block
+			// unconditionally redefines its variable afterwards. Statement
+			// order inside the block is handled by transfer(); at block
+			// granularity we approximate kill by "block contains a
+			// non-self-ref def of the same var" only when that def is in gen.
+			for idx := range in {
+				killed := false
+				d := r.defs[idx]
+				if !gen[blk.Index][idx] {
+					for _, g := range r.byVar[d.Var] {
+						if gen[blk.Index][g] && !r.defs[g].SelfRef {
+							killed = true
+							break
+						}
+					}
+				}
+				if !killed && !o[idx] {
+					o[idx] = true
+					changed = true
+				}
+			}
+			for idx := range gen[blk.Index] {
+				if !o[idx] {
+					o[idx] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// DefsReaching returns the definitions of the used identifier's variable
+// that may reach that use. The block's statements are replayed up to the
+// statement containing the use, so intra-block ordering is respected.
+func (r *RD) DefsReaching(use *ast.Ident) []*Def {
+	v, ok := r.info.Uses[use].(*types.Var)
+	if !ok {
+		if v, ok = r.info.Defs[use].(*types.Var); !ok || v == nil {
+			return nil
+		}
+	}
+	blk := r.cfg.BlockOf(use)
+	if blk == nil {
+		return nil
+	}
+	live := map[int]bool{}
+	for idx := range r.in[blk] {
+		if r.defs[idx].Var == v {
+			live[idx] = true
+		}
+	}
+	for _, idx := range r.headGen[blk] {
+		if r.defs[idx].Var == v {
+			live[idx] = true
+		}
+	}
+	for _, s := range blk.Stmts {
+		if containsNode(s, use) {
+			break
+		}
+		for _, idx := range r.byStmt[s] {
+			d := r.defs[idx]
+			if d.Var != v {
+				continue
+			}
+			if !d.SelfRef {
+				for old := range live {
+					delete(live, old)
+				}
+			}
+			live[idx] = true
+		}
+	}
+	var out []*Def
+	for idx := range live {
+		out = append(out, r.defs[idx])
+	}
+	return out
+}
+
+// containsNode reports whether target occurs under root (FuncLit interiors
+// excluded, mirroring the block node map).
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n == target {
+			found = true
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// paramsOf extracts the parameter/receiver/result variables of a unit for
+// NewRD's entry definitions.
+func paramsOf(pass *Pass, u funcUnit) []*types.Var {
+	var out []*types.Var
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	if u.Decl != nil {
+		add(u.Decl.Recv)
+		add(u.Decl.Type.Params)
+		add(u.Decl.Type.Results)
+	} else if u.Lit != nil {
+		add(u.Lit.Type.Params)
+		add(u.Lit.Type.Results)
+	}
+	return out
+}
+
+// ---- taint closure ----
+
+// taintSpec configures TaintedVars: seed marks root expressions that
+// introduce taint (a time.Now() call, a Cache.Get call); carrier extends
+// propagation to extra expression shapes beyond the built-in ones.
+type taintSpec struct {
+	seed    func(e ast.Expr) bool
+	carrier func(e ast.Expr, tainted func(ast.Expr) bool) bool
+}
+
+// taintedVars computes, flow-insensitively, the local variables of one
+// function unit whose value may derive from a seed expression. The closure
+// follows single- and multi-assignments, short declarations, compound
+// assignments and range bindings; an expression carries taint when it is a
+// seed, an identifier of a tainted variable, or built from a carrying
+// expression through parens, type assertions, conversions, unary/binary
+// arithmetic, indexing, slicing or field selection.
+func taintedVars(pass *Pass, u funcUnit, spec taintSpec) map[*types.Var]bool {
+	tainted := map[*types.Var]bool{}
+	var carries func(e ast.Expr) bool
+	carries = func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		if spec.seed(e) {
+			return true
+		}
+		if spec.carrier != nil && spec.carrier(e, carries) {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[e].(*types.Var)
+			return ok && tainted[v]
+		case *ast.ParenExpr:
+			return carries(e.X)
+		case *ast.TypeAssertExpr:
+			return carries(e.X)
+		case *ast.UnaryExpr:
+			return carries(e.X)
+		case *ast.StarExpr:
+			return carries(e.X)
+		case *ast.BinaryExpr:
+			return carries(e.X) || carries(e.Y)
+		case *ast.IndexExpr:
+			return carries(e.X)
+		case *ast.SliceExpr:
+			return carries(e.X)
+		case *ast.SelectorExpr:
+			return carries(e.X)
+		case *ast.CallExpr:
+			if isTypeConversion(pass, e) && len(e.Args) == 1 {
+				return carries(e.Args[0])
+			}
+			return false
+		}
+		return false
+	}
+	mark := func(id *ast.Ident) bool {
+		var v *types.Var
+		if d, ok := pass.Info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if uv, ok := pass.Info.Uses[id].(*types.Var); ok {
+			v = uv
+		}
+		if v == nil || tainted[v] {
+			return false
+		}
+		tainted[v] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(u.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if carries(rhs) {
+						if mark(id) {
+							changed = true
+						}
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, spec2 := range gd.Specs {
+						vs, ok := spec2.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, name := range vs.Names {
+							var rhs ast.Expr
+							if len(vs.Values) == len(vs.Names) {
+								rhs = vs.Values[i]
+							} else if len(vs.Values) == 1 {
+								rhs = vs.Values[0]
+							}
+							if carries(rhs) {
+								if mark(name) {
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if carries(n.X) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok && e != nil {
+							if mark(id) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}

@@ -7,19 +7,28 @@ import (
 	"strings"
 )
 
-// ErrWrap enforces the repo's error idiom in internal packages: errors
-// constructed inside any function — exported or not — must identify their
-// origin, either with the "<pkg>: ..." message prefix every existing message
-// uses or by wrapping an underlying error with %w. A bare
-// errors.New("bad input") surfacing from a deep call site is undebuggable at
-// the gqlshell prompt; unexported helpers are where those deep sites live,
-// so they get no exemption.
+// ErrWrap enforces the repo's error idiom: errors constructed inside any
+// internal function — exported or not — must identify their origin, either
+// with the "<pkg>: ..." message prefix every existing message uses or by
+// wrapping an underlying error with %w. A bare errors.New("bad input")
+// surfacing from a deep call site is undebuggable at the gqlshell prompt;
+// unexported helpers are where those deep sites live, so they get no
+// exemption.
 //
 // It additionally demands %w whenever a callee error reaches fmt.Errorf as
 // a format argument: formatting an error with %v or %s flattens it to text,
 // so errors.Is/As (which the server's status mapping and the engine's
 // ParseError unwrapping rely on) stop seeing the cause. Any argument whose
-// static type implements the universe error interface must be wrapped.
+// static type implements the universe error interface must be wrapped. The
+// %w rule holds everywhere gqlvet looks — cmd/ and _test.go included —
+// because a flattened cause breaks errors.Is no matter who calls it; the
+// message-prefix rule stays scoped to non-test internal code, where the
+// prefix convention lives.
+//
+// Both constructors are resolved through go/types objects, so aliased
+// imports (import f "fmt"), dot imports and vendored shadows are seen
+// exactly as the compiler sees them — the selector-name matching this
+// replaced let `f.Errorf(...)` through unexamined.
 var ErrWrap = &Analyzer{
 	Name: "errwrap",
 	Doc:  "internal functions must package-prefix error messages or wrap with %w",
@@ -27,41 +36,41 @@ var ErrWrap = &Analyzer{
 }
 
 func runErrWrap(pass *Pass) {
-	if !strings.Contains(pass.Path, "internal/") {
-		return
-	}
 	prefix := pass.Pkg.Name() + ":"
+	internal := strings.Contains(pass.Path, "internal/")
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !returnsError(pass, fd) {
 				continue
 			}
+			// The prefix convention governs non-test internal code; test
+			// helpers and cmd/ binaries only owe the structural %w rule.
+			wantPrefix := internal && !isTestFile(pass, fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
 				if !ok || len(call.Args) == 0 {
 					return true
 				}
-				x, ok := sel.X.(*ast.Ident)
-				if !ok {
+				fn := calleeOf(pass, call)
+				if fn == nil {
 					return true
 				}
 				msg, isLit := stringLit(call.Args[0])
-				if !isLit {
-					return true // dynamic message: trust the author
-				}
 				switch {
-				case x.Name == "errors" && sel.Sel.Name == "New":
-					if !strings.HasPrefix(msg, prefix) {
+				case isPkgFunc(fn, "errors", "New"):
+					if !isLit {
+						return true // dynamic message: trust the author
+					}
+					if wantPrefix && !strings.HasPrefix(msg, prefix) {
 						pass.Reportf(call.Pos(), "errors.New message %q in %s lacks the %q prefix; use fmt.Errorf(\"%s ...\") or wrap with %%w", msg, fd.Name.Name, prefix, prefix)
 					}
-				case x.Name == "fmt" && sel.Sel.Name == "Errorf":
+				case isPkgFunc(fn, "fmt", "Errorf"):
+					if !isLit {
+						return true // dynamic format: %w may be present
+					}
 					wraps := strings.Contains(msg, "%w")
-					if !strings.HasPrefix(msg, prefix) && !wraps {
+					if wantPrefix && !strings.HasPrefix(msg, prefix) && !wraps {
 						pass.Reportf(call.Pos(), "fmt.Errorf message %q in %s neither has the %q prefix nor wraps with %%w", msg, fd.Name.Name, prefix)
 					}
 					if !wraps {
@@ -86,11 +95,7 @@ func isErrorTyped(pass *Pass, e ast.Expr) bool {
 	if !ok || tv.Type == nil {
 		return false
 	}
-	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
-	if !ok {
-		return false
-	}
-	return types.Implements(tv.Type, errIface)
+	return implementsError(tv.Type)
 }
 
 // returnsError reports whether any declared result of fd has type error.

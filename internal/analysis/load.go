@@ -21,9 +21,23 @@ type parsedPkg struct {
 	imports map[string]bool // module-internal imports only
 }
 
+// LoadOptions widens what Load pulls into the analysis universe.
+type LoadOptions struct {
+	// IncludeTests loads _test.go files as well. In-package test files
+	// join their package's Pass; external foo_test packages become their
+	// own Pass whose Path carries a " [test]" suffix (so package-scoped
+	// analyzer registries never match them by accident).
+	IncludeTests bool
+}
+
 // LoadModule locates go.mod in root and loads every non-test package in the
 // module. This is the entry point cmd/gqlvet uses.
 func LoadModule(fset *token.FileSet, root string) ([]*Pass, error) {
+	return LoadModuleOpts(fset, root, LoadOptions{})
+}
+
+// LoadModuleOpts is LoadModule with explicit options.
+func LoadModuleOpts(fset *token.FileSet, root string, opts LoadOptions) ([]*Pass, error) {
 	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
@@ -39,7 +53,7 @@ func LoadModule(fset *token.FileSet, root string) ([]*Pass, error) {
 	if modPath == "" {
 		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
 	}
-	return Load(fset, root, modPath)
+	return LoadOpts(fset, root, modPath, opts)
 }
 
 // Load parses and type-checks every non-test package under root. A
@@ -48,7 +62,12 @@ func LoadModule(fset *token.FileSet, root string) ([]*Pass, error) {
 // everything else (the standard library) resolves through the source
 // importer, so no compiled export data is needed.
 func Load(fset *token.FileSet, root, modPath string) ([]*Pass, error) {
-	pkgs, err := parseTree(fset, root, modPath)
+	return LoadOpts(fset, root, modPath, LoadOptions{})
+}
+
+// LoadOpts is Load with explicit options.
+func LoadOpts(fset *token.FileSet, root, modPath string, opts LoadOptions) ([]*Pass, error) {
+	pkgs, err := parseTree(fset, root, modPath, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -103,9 +122,10 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 }
 
 // parseTree walks root collecting one parsedPkg per directory that holds
-// non-test Go files. testdata, hidden and underscore-prefixed directories
-// are skipped, as the go tool does.
-func parseTree(fset *token.FileSet, root, modPath string) (map[string]*parsedPkg, error) {
+// Go files (plus, with IncludeTests, one per external foo_test package).
+// testdata, hidden and underscore-prefixed directories are skipped, as the
+// go tool does.
+func parseTree(fset *token.FileSet, root, modPath string, opts LoadOptions) (map[string]*parsedPkg, error) {
 	pkgs := map[string]*parsedPkg{}
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -118,7 +138,11 @@ func parseTree(fset *token.FileSet, root, modPath string) (map[string]*parsedPkg
 			}
 			return nil
 		}
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !opts.IncludeTests {
 			return nil
 		}
 		dir := filepath.Dir(path)
@@ -133,6 +157,11 @@ func parseTree(fset *token.FileSet, root, modPath string) (map[string]*parsedPkg
 		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("analysis: %w", err)
+		}
+		// External test packages (package foo_test) type-check as their
+		// own unit; in-package _test.go files join the base package.
+		if isTest && strings.HasSuffix(file.Name.Name, "_test") {
+			ipath += " [test]"
 		}
 		pp := pkgs[ipath]
 		if pp == nil {

@@ -26,16 +26,23 @@ var boundWords = []string{
 }
 
 // RecBound requires every (directly or mutually) recursive function in
-// match/motif/reach to show a visible termination bound beyond structural
-// recursion. Evidence is dataflow, not spelling: a bound-word value must
-// either be *modified* in an argument of a call into the recursion
-// (depth-1 threaded down), or *checked* in a condition position (if/for
-// condition, switch tag or case, select communication, range operand).
-// Merely naming a parameter "depth" and passing it through unchanged is
-// not a bound.
+// match/motif/reach to show a termination bound on every recursion path.
+// Evidence is per recursive call site:
+//
+//   - Rule A: the call itself modifies a bound-word value on the way down
+//     (depth-1, budget/2, min(d, limit)) — a compound argument mentioning a
+//     bound word. A bare identifier passed through unchanged is not
+//     evidence.
+//
+//   - Rule B: a condition mentioning a bound word *dominates* the call —
+//     every path from the function entry to the recursion passes through
+//     the check. A bound check on a sibling branch, or after the call,
+//     gates nothing; the lexical predecessor of this rule accepted any
+//     bound word anywhere in any condition, which is the ROADMAP hole this
+//     closes.
 var RecBound = &Analyzer{
 	Name: "recbound",
-	Doc:  "recursive functions in match/motif/reach must decrement a depth/budget argument or check a limit/cancellation/visited bound in a condition",
+	Doc:  "recursive functions in match/motif/reach must decrement a depth/budget argument or check a limit/cancellation/visited bound on a path dominating each recursive call",
 	Run:  runRecBound,
 }
 
@@ -55,10 +62,6 @@ func runRecBound(pass *Pass) {
 				decls[obj] = fd
 			}
 		}
-	}
-	local := map[*types.Func]bool{}
-	for fn := range decls {
-		local[fn] = true
 	}
 	// Call-graph edges between functions of this package.
 	calls := map[*types.Func][]*types.Func{}
@@ -80,10 +83,9 @@ func runRecBound(pass *Pass) {
 		if !reaches(calls, fn, fn, map[*types.Func]bool{}) {
 			continue
 		}
-		if hasBoundEvidence(pass, fd, local) {
-			continue
+		if hasUnboundedSite(pass, fd, fn, decls, calls) {
+			pass.Reportf(fd.Pos(), "recursive function %s has a recursion path with no visible depth/budget/cancellation bound; decrement a depth or budget argument when recursing, or check a limit/cancellation/visited bound on a path dominating the recursive call", fn.Name())
 		}
-		pass.Reportf(fd.Pos(), "recursive function %s has no visible depth/budget/cancellation bound; decrement a depth or budget argument when recursing, or check a limit/cancellation/visited bound in a condition", fn.Name())
 	}
 }
 
@@ -104,79 +106,97 @@ func reaches(calls map[*types.Func][]*types.Func, fn, target *types.Func, seen m
 	return false
 }
 
-// hasBoundEvidence reports whether the function shows a dataflow bound:
-//
-//   - Rule A: a call to a package-local function passes an argument that
-//     mentions a bound word AND is a compound expression — the bound is
-//     being modified on the way down (depth-1, budget/2, min(d, limit)).
-//     A bare identifier or field passed through unchanged is NOT evidence;
-//     that is exactly the lucky-name shape the lexical scan used to accept.
-//
-//   - Rule B: a bound word appears inside a condition position — an if or
-//     for condition, a switch tag or case expression, a select
-//     communication, or a range operand. These are where a budget check,
-//     cancellation flag or visited set actually gates the recursion.
-func hasBoundEvidence(pass *Pass, fd *ast.FuncDecl, local map[*types.Func]bool) bool {
-	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.IfStmt:
-			found = exprMentionsBound(n.Cond)
-		case *ast.ForStmt:
-			found = n.Cond != nil && exprMentionsBound(n.Cond)
-		case *ast.RangeStmt:
-			found = exprMentionsBound(n.X)
-		case *ast.SwitchStmt:
-			found = n.Tag != nil && exprMentionsBound(n.Tag)
-		case *ast.CaseClause:
-			for _, e := range n.List {
-				if exprMentionsBound(e) {
-					found = true
-				}
-			}
-		case *ast.CommClause:
-			if n.Comm != nil {
-				ast.Inspect(n.Comm, func(m ast.Node) bool {
-					if e, ok := m.(ast.Expr); ok && exprMentionsBound(e) {
-						found = true
-					}
-					return !found
-				})
-			}
-		case *ast.CallExpr:
-			callee := calleeFunc(pass, n)
-			if callee == nil || !local[callee] {
-				return true
-			}
-			for _, arg := range n.Args {
-				if isPassThrough(arg) {
-					continue
-				}
-				if exprMentionsBound(arg) {
-					found = true
-				}
-			}
-		}
-		return !found
-	})
-	return found
+// boundCond is one condition position mentioning a bound word: the block
+// it terminates plus the checked node (expression, or select comm stmt).
+type boundCond struct {
+	blk  *Block
+	node ast.Node
 }
 
-// calleeFunc resolves the called function object for direct and method
-// calls; nil for indirect calls through function values.
-func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
-	switch f := call.Fun.(type) {
-	case *ast.Ident:
-		fn, _ := pass.Info.Uses[f].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := pass.Info.Uses[f.Sel].(*types.Func)
-		return fn
+// hasUnboundedSite reports whether any recursive call site in fd (its body
+// or any nested function literal) lacks both evidence rules.
+func hasUnboundedSite(pass *Pass, fd *ast.FuncDecl, fn *types.Func, decls map[*types.Func]*ast.FuncDecl, calls map[*types.Func][]*types.Func) bool {
+	for _, u := range declUnits(fd) {
+		cfg := NewCFG(u.Body)
+		var bounds []boundCond
+		for _, blk := range cfg.Blocks {
+			for _, c := range blk.Conds {
+				var node ast.Node
+				if c.Expr != nil {
+					node = c.Expr
+				} else if c.Comm != nil {
+					node = c.Comm
+				}
+				if node != nil && nodeMentionsBound(node) {
+					bounds = append(bounds, boundCond{blk: blk, node: node})
+				}
+			}
+		}
+		unbounded := false
+		ast.Inspect(u.Body, func(n ast.Node) bool {
+			if unbounded {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(u.Lit) {
+				return false // separate unit
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass, call)
+			if callee == nil {
+				return true
+			}
+			if _, isLocal := decls[callee]; !isLocal {
+				return true
+			}
+			// A recursive site: the callee can reach fn again.
+			if callee != fn && !reaches(calls, callee, fn, map[*types.Func]bool{}) {
+				return true
+			}
+			if !siteHasEvidence(cfg, bounds, call) {
+				unbounded = true
+			}
+			return true
+		})
+		if unbounded {
+			return true
+		}
 	}
-	return nil
+	return false
+}
+
+// siteHasEvidence applies Rule A (bound modified at the call) and Rule B
+// (bound check dominating the call) to one recursive call site.
+func siteHasEvidence(cfg *CFG, bounds []boundCond, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if !isPassThrough(arg) && exprMentionsBound(arg) {
+			return true // Rule A
+		}
+	}
+	blk := cfg.BlockOf(call)
+	if blk == nil {
+		// Not mapped (call inside a nested literal handled by its own
+		// unit); no verdict from this unit.
+		return true
+	}
+	for _, bc := range bounds {
+		if bc.blk == blk {
+			// Conditions terminate their block, so a same-block check runs
+			// after the call — unless the call sits inside the condition
+			// itself (`if depth > 0 && rec(d)`), where short-circuiting
+			// makes the check the gate.
+			if containsNode(bc.node, call) {
+				return true
+			}
+			continue
+		}
+		if cfg.Dominates(bc.blk, blk) {
+			return true // Rule B
+		}
+	}
+	return false
 }
 
 // isPassThrough reports whether the argument is an unmodified name — a
@@ -200,9 +220,15 @@ func exprMentionsBound(e ast.Expr) bool {
 	if e == nil {
 		return false
 	}
+	return nodeMentionsBound(e)
+}
+
+// nodeMentionsBound reports whether any identifier under n contains a
+// bound word.
+func nodeMentionsBound(n ast.Node) bool {
 	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && isBoundWord(id.Name) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && isBoundWord(id.Name) {
 			found = true
 		}
 		return !found

@@ -1,0 +1,42 @@
+// helper_test.go: corpus for test-file semantics. The loader only sees
+// this file under LoadOptions{IncludeTests}; panicfree and errwrap's
+// message-prefix rule relax in test files, while gosafe and the %w rule
+// stay in force.
+package match
+
+import "fmt"
+
+// mustFixture panics on bad input: allowed — test helpers fail loudly,
+// the no-panic contract binds the production query path only.
+func mustFixture(ok bool) {
+	if !ok {
+		panic("bad fixture")
+	}
+}
+
+// fixtureErr returns an unprefixed message: allowed — the prefix
+// convention is scoped to non-test internal code.
+func fixtureErr() error {
+	return fmt.Errorf("fixture not ready")
+}
+
+// flattenErr formats a cause without %w: still flagged — test assertions
+// rely on errors.Is just as much as the server does.
+func flattenErr(err error) error {
+	return fmt.Errorf("fixture failed: %v", err) // want:errwrap `without %w`
+}
+
+// racyFixture writes a captured variable from a goroutine: gosafe stays
+// on in test files — races in tests corrupt the results being asserted.
+func racyFixture() []int {
+	var shared []int
+	ch := make(chan struct{})
+	go func() {
+		shared = append(shared, 1) // want:gosafe `captured variable "shared"`
+		close(ch)
+	}()
+	<-ch
+	return shared
+}
+
+var _ = []any{mustFixture, fixtureErr, flattenErr, racyFixture}

@@ -187,6 +187,54 @@ func DrillChecked(n, depth int) int {
 	return DrillChecked(n/2, depth)
 }
 
+// GuardedOffPath checks depth only on a sibling branch: the recursion at
+// the bottom runs whether or not the check did, so the check dominates
+// nothing. The lexical rule ("a bound word appears in some condition")
+// accepted this; the dominance rule flags it.
+func GuardedOffPath(n, depth int) int { // want:recbound `recursive function GuardedOffPath`
+	if n > 100 {
+		if depth <= 0 {
+			return 0
+		}
+	}
+	return GuardedOffPath(n/2, depth)
+}
+
+// CheckedAfter checks depth only after the recursive call has already
+// happened — a gate behind the horse. Flagged under dominance; the lexical
+// rule accepted it.
+func CheckedAfter(n, depth int) int { // want:recbound `recursive function CheckedAfter`
+	if n <= 1 {
+		return 0
+	}
+	r := CheckedAfter(n/2, depth)
+	if depth <= 0 {
+		return 0
+	}
+	return r
+}
+
+// LoopGuarded recurses inside a loop whose head condition checks the
+// budget: the head dominates the body, so every recursive call is gated —
+// recbound allows it. The same loop carries recursion with no
+// cancellation poll, so ctxpoll (rightly) still fires on it.
+func LoopGuarded(n, depth int) int {
+	total := 0
+	for i := 0; i < depth; i++ { // want:ctxpoll `never polls`
+		total += LoopGuarded(n/2, depth)
+	}
+	return total
+}
+
+// ShortCircuitGuard gates the recursion inside the same condition via
+// short-circuit evaluation: allowed.
+func ShortCircuitGuard(n, depth int) bool {
+	if depth > 0 && ShortCircuitGuard(n/2, depth) {
+		return true
+	}
+	return false
+}
+
 // Iterative has no recursion at all: allowed.
 func Iterative(n int) int {
 	total := 0
@@ -194,4 +242,51 @@ func Iterative(n int) int {
 		total += i
 	}
 	return total
+}
+
+// ---- ctxpoll (registry poll helper) ----
+
+// searcher mimics the real matcher's cancellation plumbing: the context's
+// Done channel is captured as a field, and cancelled() is the registered
+// poll helper (ctxPollFuncs).
+type searcher struct {
+	ctxDone <-chan struct{}
+	done    bool
+	cand    [][]int
+}
+
+// cancelled is the canonical per-step poll.
+func (s *searcher) cancelled() bool {
+	select {
+	case <-s.ctxDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// rec backtracks with a registry poll dominating every iteration of the
+// candidate loop: allowed by ctxpoll (and the cancel-word check dominates
+// the recursion, so recbound allows it too).
+func (s *searcher) rec(i int) {
+	if i >= len(s.cand) {
+		return
+	}
+	for range s.cand[i] {
+		if s.done || s.cancelled() {
+			return
+		}
+		s.rec(i + 1)
+	}
+}
+
+// drill recurses under its loop without any poll: ctxpoll flags the loop
+// (and recbound flags the function — no bound dominates the call).
+func (s *searcher) drill(i int) { // want:recbound `recursive function drill`
+	if i >= len(s.cand) {
+		return
+	}
+	for range s.cand[i] { // want:ctxpoll `never polls`
+		s.drill(i + 1)
+	}
 }

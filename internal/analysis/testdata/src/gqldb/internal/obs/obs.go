@@ -67,3 +67,7 @@ func (s *Span) SetAttr(key, val string) {
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
 }
+
+// ObserveSeconds mimics the metrics registry's histogram feed — the
+// sanctioned destination for wall-clock values (detmerge's sink).
+func ObserveSeconds(d time.Duration) { _ = d }

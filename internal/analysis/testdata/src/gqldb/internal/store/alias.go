@@ -1,0 +1,48 @@
+// alias.go: regression corpus for the errwrap aliased-import hole. The
+// pre-typed analyzer matched `fmt.Errorf` / `errors.New` by selector
+// spelling, so renaming the import let unattributed errors through. Object
+// resolution sees through the alias.
+package store
+
+import (
+	e "errors"
+	f "fmt"
+)
+
+// OpenAliased builds a bare error through an aliased errors import:
+// flagged (the old analyzer missed this).
+func OpenAliased(path string) error {
+	if path == "" {
+		return e.New("no path given") // want:errwrap `lacks the`
+	}
+	return nil
+}
+
+// LoadAliased formats through an aliased fmt import without prefix or %w:
+// flagged (the old analyzer missed this).
+func LoadAliased(path string) error {
+	if path == "bad" {
+		return f.Errorf("cannot load %s", path) // want:errwrap `neither has the`
+	}
+	return nil
+}
+
+// FlattenAliased has the prefix but flattens a callee error with %v
+// through the alias: flagged.
+func FlattenAliased(path string) error {
+	if err := LoadAliased(path); err != nil {
+		return f.Errorf("store: load %s: %v", path, err) // want:errwrap `without %w`
+	}
+	return nil
+}
+
+// WrapAliased follows the idiom through the alias: allowed.
+func WrapAliased(path string) error {
+	if err := LoadAliased(path); err != nil {
+		return f.Errorf("store: load %s: %w", path, err)
+	}
+	if path == "empty" {
+		return e.New("store: empty path")
+	}
+	return nil
+}

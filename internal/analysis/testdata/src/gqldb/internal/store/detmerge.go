@@ -1,0 +1,108 @@
+// detmerge.go: corpus for both detmerge rules — map-order leaks in merge
+// paths, and wall-clock / global-rand nondeterminism in result paths.
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"gqldb/internal/obs"
+)
+
+func localWork() {}
+
+// ---- rule 1: map iteration order ----
+
+// MergeNames collects map keys and sorts after the loop — the FromMap
+// idiom: allowed.
+func MergeNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LeakOrder appends map values without ever sorting: flagged.
+func LeakOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want:detmerge `inherits randomized map order`
+	}
+	return out
+}
+
+// JoinUnsorted accumulates a string in map order: flagged.
+func JoinUnsorted(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want:detmerge `string accumulation`
+	}
+	return s
+}
+
+// StreamUnsorted sends in map order: flagged.
+func StreamUnsorted(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want:detmerge `send inside range over map`
+	}
+}
+
+// Reindex writes map→map — order-insensitive: allowed.
+func Reindex(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// ---- rule 2: wall-clock containment ----
+
+// ElapsedLeak returns a clock-derived value as a result: flagged.
+func ElapsedLeak() time.Duration {
+	start := time.Now()
+	localWork()
+	return time.Since(start) // want:detmerge `escapes via return`
+}
+
+// ElapsedObserved measures, feeds obs and gates on the threshold — every
+// sanctioned use at once: allowed.
+func ElapsedObserved(limit time.Duration) bool {
+	start := time.Now()
+	localWork()
+	wall := time.Since(start)
+	obs.ObserveSeconds(wall)
+	if wall > limit {
+		return true
+	}
+	return false
+}
+
+// StampResult stores the clock into a result struct: flagged.
+type record struct {
+	Items int
+	Wall  time.Duration
+}
+
+func StampResult(items int) record {
+	start := time.Now()
+	localWork()
+	return record{Items: items, Wall: time.Since(start)} // want:detmerge `non-observability composite`
+}
+
+// ---- rule 2b: global math/rand ----
+
+// PickGlobal draws from the process-wide source: flagged.
+func PickGlobal(n int) int {
+	return rand.Intn(n) // want:detmerge `global math/rand.Intn`
+}
+
+// PickSeeded builds a deterministic seeded generator — reach's sampling
+// idiom: allowed (methods on *rand.Rand are not package-level draws).
+func PickSeeded(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -1,0 +1,25 @@
+// dotimport.go: regression corpus for the errwrap dot-import hole. A
+// dot-imported fmt makes Errorf a bare identifier — invisible to
+// selector matching, resolved exactly by go/types.
+package store
+
+import (
+	. "fmt"
+)
+
+// LoadDotted formats through a dot-imported fmt without prefix or %w:
+// flagged (the old analyzer missed this).
+func LoadDotted(path string) error {
+	if path == "bad" {
+		return Errorf("cannot load %s", path) // want:errwrap `neither has the`
+	}
+	return nil
+}
+
+// WrapDotted follows the idiom through the dot import: allowed.
+func WrapDotted(path string) error {
+	if err := LoadDotted(path); err != nil {
+		return Errorf("store: load %s: %w", path, err)
+	}
+	return nil
+}

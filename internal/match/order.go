@@ -2,6 +2,7 @@ package match
 
 import (
 	"math"
+	"math/bits"
 
 	"gqldb/internal/graph"
 )
@@ -80,7 +81,7 @@ func (s *searcher) greedyOrder() ([]graph.NodeID, float64) {
 	size := float64(len(s.phi[first]))
 	total := 0.0
 
-	for len(order) < n {
+	for len(order) < n { //gqlvet:ignore ctxpoll -- grows order every iteration; bounded by pattern size n, not data
 		best := graph.NodeID(-1)
 		bestCost, bestSize := math.Inf(1), math.Inf(1)
 		for u := 0; u < n; u++ {
@@ -122,7 +123,7 @@ func (s *searcher) dpOrder() ([]graph.NodeID, float64) {
 	for S := 1; S <= full; S++ {
 		// Compute size[S] incrementally from S without its lowest bit.
 		low := S & -S
-		c := graph.NodeID(bits(low))
+		c := graph.NodeID(setBit(low))
 		prev := S &^ low
 		g := 1.0
 		for _, e := range s.p.Motif.Edges() {
@@ -172,12 +173,7 @@ func (s *searcher) dpOrder() ([]graph.NodeID, float64) {
 	return order, cost[full]
 }
 
-// bits returns the index of the single set bit in x.
-func bits(x int) int {
-	i := 0
-	for x > 1 {
-		x >>= 1
-		i++
-	}
-	return i
+// setBit returns the index of the single set bit in x.
+func setBit(x int) int {
+	return bits.Len(uint(x)) - 1
 }

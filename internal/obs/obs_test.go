@@ -124,7 +124,7 @@ func TestConcurrentAddAndChildren(t *testing.T) {
 				root.Add("n", 1)
 				sp.Add("n", 1)
 			}
-			sp.End()
+			sp.End() //gqlvet:ignore gosafe -- sp is this worker's own child span, never shared
 		}()
 	}
 	wg.Wait()

@@ -72,12 +72,12 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) error {
 			obs.PoolWorkerBusy.Add(0, int64(time.Since(start)))
 		}()
 		for i := 0; i < n; i++ {
-			if done != nil {
-				select {
-				case <-done:
-					return ctx.Err()
-				default:
-				}
+			// A nil done (ctx == nil) never fires, so the poll is safe and
+			// unconditional — every iteration observes cancellation.
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
 			}
 			if err := fn(i); err != nil {
 				return err
@@ -114,14 +114,14 @@ func Run(ctx context.Context, n, workers int, fn func(i int) error) error {
 				if stop.Load() {
 					return
 				}
-				if done != nil {
-					select {
-					case <-done:
-						cancelled.Store(true)
-						stop.Store(true)
-						return
-					default:
-					}
+				// Unconditional poll: a nil done (ctx == nil) never fires,
+				// and every chunk claim observes cancellation.
+				select {
+				case <-done:
+					cancelled.Store(true)
+					stop.Store(true)
+					return
+				default:
 				}
 				start := int(cursor.Add(chunk)) - chunk
 				if start >= n {
