@@ -46,7 +46,8 @@ fuzz-smoke:
 	$(GO) test ./internal/graph -run FuzzReadTSV -fuzz FuzzReadTSV -fuzztime 5s
 	$(GO) test ./internal/sqlbase -run FuzzParseSQL -fuzz FuzzParseSQL -fuzztime 5s
 	$(GO) test ./internal/expr -run FuzzEval -fuzz FuzzEval -fuzztime 10s
-	$(GO) test ./internal/server -run FuzzServerQuery -fuzz FuzzServerQuery -fuzztime 10s
+	$(GO) test ./internal/server -run 'FuzzServerQuery$$' -fuzz 'FuzzServerQuery$$' -fuzztime 10s
+	$(GO) test ./internal/server -run 'FuzzServerQueryV2$$' -fuzz 'FuzzServerQueryV2$$' -fuzztime 10s
 
 ## bench-obs: tracing-overhead guard — the off variant must stay within
 ## noise of BenchmarkParallelExec (observability disabled is one context

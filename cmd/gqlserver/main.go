@@ -5,22 +5,31 @@
 //
 //	gqlserver -addr :8080 -doc name=file.tsv [-doc name2=file2.gql] \
 //	    [-workers N] [-max-inflight N] [-timeout 30s] [-max-body 1048576] \
-//	    [-grace 10s] [-slow 100ms] [-shards N] [-cache N] [-index-paths L]
+//	    [-grace 10s] [-slow 100ms] [-shards N] [-cache N] [-index-paths L] \
+//	    [-flush-interval 100ms] [-max-take N]
 //
 // -shards partitions every document into N hash shards whose selections fan
 // out concurrently and merge deterministically; -index-paths builds a
 // per-shard path-feature index of length L at registration; -cache enables
 // an N-entry LRU result cache keyed on (program, store version), so
 // repeated queries are served without re-evaluation until a document
-// changes.
+// changes. -flush-interval paces the periodic flushes of streamed v2
+// responses (a negative value flushes after every row); -max-take caps how
+// many rows one v2 request may take — larger (or unlimited) requests are
+// truncated at the cap and handed a next_skip cursor to resume from.
 //
 // Documents are loaded at startup from TSV exchange files (a single large
 // graph), .bin binary collections, or .gql text files (a sequence of graph
 // literals), exactly as in gqlshell. Endpoints:
 //
 //	POST /query    {"query": "...", "timeout_ms": 0, "workers": 0} or a raw
-//	               program body; JSON results
+//	               program body; buffered JSON results (the frozen v1 shape)
 //	POST /explain  same request shape; JSON span tree + per-operator table
+//	POST /v2/query same envelope plus skip/take/project; streaming NDJSON
+//	               rows with cursor pagination and per-row projection
+//	POST /v2/batch {"queries": [...]}; several programs on one store
+//	               snapshot, one NDJSON stream tagged by query index
+//	GET  /v2/schema loaded docs, store version, attribute inventory
 //	GET  /metrics  Prometheus text dump
 //	GET  /debug/vars  expvar
 //	GET  /healthz  liveness, drain state, in-flight count
@@ -81,6 +90,8 @@ func main() {
 	shards := flag.Int("shards", 1, "hash partitions per document; >1 fans selection across shards")
 	cache := flag.Int("cache", 0, "result cache capacity in entries (0 disables caching)")
 	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables; 3 is a good default for many small graphs)")
+	flushInterval := flag.Duration("flush-interval", 100*time.Millisecond, "flush pacing for streamed v2 responses (negative flushes every row)")
+	maxTake := flag.Int("max-take", 0, "cap on rows one v2 request may take (0 = uncapped); capped requests get a next_skip cursor")
 	flag.Parse()
 
 	eng := exec.NewOver(store.New(store.Options{Shards: *shards, IndexMaxLen: *indexLen}))
@@ -92,11 +103,13 @@ func main() {
 	eng.SlowQueryLog = func(r obs.SlowQueryRecord) { log.Printf("gqlserver: %s", r) }
 
 	srv := server.New(server.Config{
-		Engine:      eng,
-		MaxInflight: *maxInflight,
-		MaxBody:     *maxBody,
-		Timeout:     *timeout,
-		MaxTimeout:  *maxTimeout,
+		Engine:        eng,
+		MaxInflight:   *maxInflight,
+		MaxBody:       *maxBody,
+		Timeout:       *timeout,
+		MaxTimeout:    *maxTimeout,
+		FlushInterval: *flushInterval,
+		MaxTake:       *maxTake,
 	})
 	for name, path := range docs {
 		coll, err := loadDoc(path)

@@ -106,17 +106,17 @@ func main() {
 	e.SlowQueryLog = func(r obs.SlowQueryRecord) { fmt.Fprintf(os.Stderr, "gqlshell: %s\n", r) }
 	e.Trace = mode != ""
 
-	// RunQuery owns parsing (the parse phase is a child span of the traced
-	// run) and the result cache.
-	res, err := e.RunQuery(context.Background(), query)
+	// StreamQuery owns parsing (the parse phase is a child span of the
+	// traced run) and the result cache; result graphs print as the pipeline
+	// emits them, so the first rows of a long-running program appear before
+	// the selection finishes.
+	sink := &printSink{quiet: mode == "explain"}
+	res, err := e.StreamQuery(context.Background(), query, sink, exec.StreamOptions{Take: exec.AllRows})
 	if err != nil {
 		fail("%v", err)
 	}
 
 	if mode != "explain" {
-		for i, g := range res.Out {
-			fmt.Printf("// result %d\n%s;\n", i, g)
-		}
 		names := make([]string, 0, len(res.Vars))
 		for name := range res.Vars {
 			names = append(names, name)
@@ -136,8 +136,23 @@ func main() {
 		}
 	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "gqlshell: %d result graphs, %d variables\n", len(res.Out), len(res.Vars))
+		fmt.Fprintf(os.Stderr, "gqlshell: %d result graphs, %d variables\n", res.Rows, len(res.Vars))
 	}
+}
+
+// printSink streams result graphs to stdout as the engine emits them
+// (suppressed in explain mode, which only wants the trace).
+type printSink struct {
+	quiet bool
+	n     int
+}
+
+func (s *printSink) Emit(g *graph.Graph) error {
+	if !s.quiet {
+		fmt.Printf("// result %d\n%s;\n", s.n, g)
+	}
+	s.n++
+	return nil
 }
 
 // splitDirective strips a leading EXPLAIN or PROFILE keyword (case-
@@ -160,7 +175,7 @@ func splitDirective(src string) (mode, rest string) {
 // renderTrace prints the span tree, the per-operator table (from the
 // engine's OpStat records) and the per-selection reduction table computed
 // from the span counters, reusing the §5 harness formatting helpers.
-func renderTrace(w io.Writer, res *exec.Result) {
+func renderTrace(w io.Writer, res *exec.StreamResult) {
 	fmt.Fprintln(w, "// trace")
 	fmt.Fprint(w, res.Trace.Render())
 

@@ -251,24 +251,53 @@ func MatchOneContext(ctx context.Context, p *Pattern, g *Graph, ix *Index, opt O
 	return match.ExistsContext(ctx, p, g, ix, opt)
 }
 
-// Select evaluates σ_P(C): all bindings of p across the collection.
+// SelectOptions configures SelectGraphs; the zero value is a serial,
+// unindexed, unintrumented selection with default matching options.
+type SelectOptions struct {
+	// Match configures the §4 access methods (pruning, refinement, search
+	// order, exhaustiveness).
+	Match Options
+	// Workers bounds the worker pool (<= 0 means GOMAXPROCS, 1 is serial).
+	// Output is identical at every setting, in the same order.
+	Workers int
+	// Index optionally supplies per-graph access structures.
+	Index func(*Graph) *Index
+	// Stats, when non-nil, receives a per-operator timing/fan-out record.
+	Stats *MatchStats
+}
+
+// SelectGraphs evaluates σ_P(C) — all bindings of p across the collection —
+// under a context on a bounded worker pool. This is the single selection
+// entry point; Select, SelectParallel and SelectContext are deprecated
+// wrappers over it.
+func SelectGraphs(ctx context.Context, p *Pattern, c Collection, opts SelectOptions) ([]*MatchedGraph, error) {
+	return algebra.SelectionContext(ctx, p, c, opts.Match, opts.Index, opts.Workers, opts.Stats)
+}
+
+// Select evaluates σ_P(C) serially.
+//
+// Deprecated: use SelectGraphs(ctx, p, c, SelectOptions{Match: opt, Workers: 1}).
 func Select(p *Pattern, c Collection, opt Options) ([]*MatchedGraph, error) {
-	return algebra.Selection(p, c, opt, nil)
+	return SelectGraphs(context.Background(), p, c, SelectOptions{Match: opt, Workers: 1})
 }
 
 // SelectParallel evaluates σ_P(C) with collection members matched
 // concurrently (workers=0 uses GOMAXPROCS); results are identical to
 // Select, in the same order.
+//
+// Deprecated: use SelectGraphs(ctx, p, c, SelectOptions{Match: opt, Workers: workers}).
 func SelectParallel(p *Pattern, c Collection, opt Options, workers int) ([]*MatchedGraph, error) {
-	return algebra.ParallelSelection(p, c, opt, nil, workers)
+	if workers == 0 {
+		workers = -1 // ParallelSelection's 0 meant GOMAXPROCS
+	}
+	return SelectGraphs(context.Background(), p, c, SelectOptions{Match: opt, Workers: workers})
 }
 
-// SelectContext evaluates σ_P(C) under a context on a bounded worker pool
-// (workers<=0 means GOMAXPROCS, 1 is serial). Output is identical to Select
-// in the same order; stats (optional, may be nil) receives a per-operator
-// timing/fan-out record.
+// SelectContext evaluates σ_P(C) under a context on a bounded worker pool.
+//
+// Deprecated: use SelectGraphs(ctx, p, c, SelectOptions{Match: opt, Workers: workers, Stats: stats}).
 func SelectContext(ctx context.Context, p *Pattern, c Collection, opt Options, workers int, stats *MatchStats) ([]*MatchedGraph, error) {
-	return algebra.SelectionContext(ctx, p, c, opt, nil, workers, stats)
+	return SelectGraphs(ctx, p, c, SelectOptions{Match: opt, Workers: workers, Stats: stats})
 }
 
 // Product computes the Cartesian product C × D (§3.3) on a bounded worker
@@ -345,31 +374,108 @@ func ParseExpr(src string) (Expr, error) { return parser.ParseExpr(src) }
 // ParseQuery parses a GraphQL program (Appendix 4.A syntax).
 func ParseQuery(src string) (*ast.Program, error) { return parser.Parse(src) }
 
-// Run parses and executes a GraphQL program against a document store.
-func Run(src string, st Store) (*QueryResult, error) {
-	prog, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
+// Streaming result pipeline types (see QueryStream and Engine.StreamQuery).
+type (
+	// ResultSink receives result graphs one at a time as the pipeline
+	// produces them; returning ErrStopStream stops the query early as a
+	// truncated success, any other error aborts it.
+	ResultSink = exec.ResultSink
+	// CollectSink is the trivial buffering sink: Emit appends to Graphs.
+	CollectSink = exec.CollectSink
+	// StreamResult summarizes a streamed query (rows emitted, rows
+	// skipped, truncation, variables, stats, trace).
+	StreamResult = exec.StreamResult
+	// StreamOptions paginates a streamed query (Skip/Take) and optionally
+	// pins it to a store snapshot.
+	StreamOptions = exec.StreamOptions
+	// DocStats is a per-document inventory (graph/shard/node/edge counts
+	// and attribute-name occurrence), as served by GET /v2/schema.
+	DocStats = store.DocStats
+)
+
+// ErrStopStream, returned from ResultSink.Emit, stops the stream early:
+// the query finishes as a truncated success rather than an error.
+var ErrStopStream = exec.ErrStopStream
+
+// AllRows as a Take value streams the whole result set.
+const AllRows = exec.AllRows
+
+// QueryOptions configures Query and QueryStream. Exactly one of Engine,
+// Store or Docs selects the execution target (checked in that order; a nil
+// Engine and Store fall back to Docs, and the zero value runs against an
+// empty document map).
+type QueryOptions struct {
+	// Docs maps document names to collections; it is wrapped into an
+	// unsharded DocStore (the simple path, mirroring the old Run).
+	Docs Store
+	// Store is a versioned document store — the sharded/indexed path.
+	Store VersionedStore
+	// Engine executes the query on an existing engine via Engine.Request,
+	// inheriting its cache, options and slow-query configuration.
+	Engine *Engine
+	// Workers configures for-clause fan-out (0 or 1 serial, negative
+	// GOMAXPROCS). With Engine set, nonzero overrides the engine default.
+	Workers int
+	// Trace enables span collection even without a trace on ctx.
+	Trace bool
+	// Skip drops the first rows of every return clause before emission
+	// (QueryStream only); skipped rows are never instantiated.
+	Skip int
+	// Take caps emitted rows (QueryStream only); <= 0 streams all rows.
+	Take int
+}
+
+// engine resolves the options to a request-scoped engine.
+func (o QueryOptions) engine() *Engine {
+	if o.Engine != nil {
+		return o.Engine.Request(RequestOptions{Workers: o.Workers, Trace: o.Trace})
 	}
-	return exec.New(st).Run(prog)
+	var e *Engine
+	if o.Store != nil {
+		e = exec.NewOver(o.Store)
+	} else {
+		e = exec.New(o.Docs)
+	}
+	e.Workers = o.Workers
+	e.Trace = o.Trace
+	return e
+}
+
+// Query parses and executes a GraphQL program, returning the buffered
+// result. This is the single buffered entry point; Run and RunContext are
+// deprecated wrappers over it. Cancellation is honored down to individual
+// backtracking steps of each selection, and when ctx carries a trace
+// (StartTrace) — or Trace is set — every phase records spans and the tree
+// is returned in QueryResult.Trace. Parse failures return a *QueryParseError.
+func Query(ctx context.Context, src string, opts QueryOptions) (*QueryResult, error) {
+	return opts.engine().RunQuery(ctx, src)
+}
+
+// QueryStream parses and executes a GraphQL program, pushing result graphs
+// into sink as the pipeline produces them instead of buffering: constant
+// memory in the result cardinality, with Skip/Take pagination applied
+// before instantiation.
+func QueryStream(ctx context.Context, src string, sink ResultSink, opts QueryOptions) (*StreamResult, error) {
+	take := opts.Take
+	if take <= 0 {
+		take = AllRows
+	}
+	return opts.engine().StreamQuery(ctx, src, sink, StreamOptions{Skip: opts.Skip, Take: take})
+}
+
+// Run parses and executes a GraphQL program against a document store.
+//
+// Deprecated: use Query(ctx, src, QueryOptions{Docs: st}).
+func Run(src string, st Store) (*QueryResult, error) {
+	return Query(context.Background(), src, QueryOptions{Docs: st})
 }
 
 // RunContext parses and executes a GraphQL program under a context on a
-// bounded worker pool: workers configures the engine's for-clause fan-out
-// (0 or 1 serial, negative GOMAXPROCS) and cancellation is honored down to
-// individual backtracking steps of each selection. When ctx carries a trace
-// (StartTrace), parsing and every evaluation phase record spans and the
-// tree is returned in QueryResult.Trace.
+// bounded worker pool.
+//
+// Deprecated: use Query(ctx, src, QueryOptions{Docs: st, Workers: workers}).
 func RunContext(ctx context.Context, src string, st Store, workers int) (*QueryResult, error) {
-	psp := TraceFromContext(ctx).StartChild("parse")
-	prog, err := parser.Parse(src)
-	psp.End()
-	if err != nil {
-		return nil, err
-	}
-	e := exec.New(st)
-	e.Workers = workers
-	return e.RunContext(ctx, prog)
+	return Query(ctx, src, QueryOptions{Docs: st, Workers: workers})
 }
 
 // StartTrace enables tracing for everything evaluated under the returned

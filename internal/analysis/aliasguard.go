@@ -18,6 +18,10 @@ var aliasReturns = map[string]bool{
 	"internal/store.Doc.Collection":    true,
 	"internal/store.Doc.Shards":        true,
 	"internal/store.DocStore.Snapshot": true,
+	// Doc.Stats memoizes one inventory per document and hands the same
+	// pointer (and its attribute maps) to every caller — the /v2/schema
+	// handler must render it without writing through it.
+	"internal/store.Doc.Stats": true,
 }
 
 // AliasGuard flags mutations of values obtained from the registered

@@ -43,6 +43,9 @@ var timingSinkMethods = map[string]bool{
 // values: they are observability carriers, not result data.
 var timingSinkTypes = map[string]bool{
 	"internal/match.Stats": true,
+	// The streaming return clause carries its operator start time across
+	// chunk flushes; the value only ever feeds RecordOp and the span.
+	"internal/exec.rowEmitter": true,
 }
 
 // randConstructors are the math/rand functions that build a seeded,

@@ -27,6 +27,16 @@ var unsafeInGoroutine = map[string]map[string]bool{
 	// SetCapacity resizes the LRU without taking the cache lock; it is a
 	// startup-only call by contract, before any querying goroutine exists.
 	"internal/store.Cache": {"SetCapacity": true},
+	// The streaming pipeline's sinks and emitters mutate receiver state
+	// (row buffers, ordinals, flush clocks) without locks: Emit runs on the
+	// query's coordinating goroutine by contract, never from pool workers.
+	"internal/exec.CollectSink": {"Emit": true},
+	"internal/exec.streamState": {"emit": true},
+	"internal/exec.rowEmitter":  {"group": true, "flush": true, "close": true},
+	"internal/server.rowSink":   {"Emit": true},
+	// The NDJSON writer shares one encoder and flush clock per response;
+	// line/flush are coordinator-only for the same reason.
+	"internal/server.ndjsonWriter": {"line": true, "flush": true},
 }
 
 // GoSafe inspects goroutine bodies (as in algebra.ParallelSelection) for

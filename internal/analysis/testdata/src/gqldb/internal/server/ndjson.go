@@ -1,0 +1,40 @@
+// ndjson.go: corpus for the v2 streaming frontend's determinism contract.
+// NDJSON lines must leave in canonical order — a wire stream that inherits
+// Go's randomized map iteration order is a nondeterministic API response,
+// the exact bug class detmerge exists to catch at the merge layer.
+package server
+
+import "sort"
+
+// EmitVarsSorted renders the final graph variables as NDJSON lines in
+// sorted name order — the sanctioned FromMap idiom: allowed.
+func EmitVarsSorted(vars map[string]string) []string {
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lines := make([]string, 0, len(names))
+	for _, name := range names {
+		lines = append(lines, name+"="+vars[name])
+	}
+	return lines
+}
+
+// EmitVarsUnsorted appends one line per variable straight out of the map
+// range: the stream order would differ between identical runs. Flagged.
+func EmitVarsUnsorted(vars map[string]string) []string {
+	var lines []string
+	for name, g := range vars {
+		lines = append(lines, name+"="+g) // want:detmerge `inherits randomized map order`
+	}
+	return lines
+}
+
+// StreamVarsUnsorted pushes lines into the emission channel in map order:
+// the NDJSON writer on the other end inherits the randomization. Flagged.
+func StreamVarsUnsorted(vars map[string]string, lines chan string) {
+	for name := range vars {
+		lines <- name // want:detmerge `send inside range over map`
+	}
+}

@@ -8,6 +8,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -177,7 +178,7 @@ func (e *Engine) Run(prog *ast.Program) (*Result, error) {
 // log hook whether it succeeded or failed.
 func (e *Engine) RunContext(ctx context.Context, prog *ast.Program) (*Result, error) {
 	ctx, root, rooted := e.traceRoot(ctx)
-	res, err := e.runInstrumented(ctx, prog, e.snapshot())
+	res, err := e.runInstrumented(ctx, prog, e.snapshot(), nil)
 	if rooted {
 		root.End()
 	}
@@ -210,11 +211,12 @@ func (e *Engine) traceRoot(ctx context.Context) (context.Context, *obs.Span, boo
 // runInstrumented executes the program against one pinned store snapshot
 // with the query-level metrics and the slow-query hook applied. The
 // snapshot is a parameter (not re-taken) so callers that compute a cache
-// key from a snapshot execute against exactly that version.
-func (e *Engine) runInstrumented(ctx context.Context, prog *ast.Program, snap *store.Snapshot) (*Result, error) {
+// key from a snapshot execute against exactly that version. A non-nil st
+// switches return clauses to the streaming pipeline.
+func (e *Engine) runInstrumented(ctx context.Context, prog *ast.Program, snap *store.Snapshot, st *streamState) (*Result, error) {
 	obs.Queries.Inc()
 	start := time.Now()
-	res, executed, err := e.run(ctx, prog, snap)
+	res, executed, err := e.run(ctx, prog, snap, st)
 	wall := time.Since(start)
 	obs.QuerySeconds.Observe(wall)
 	if err != nil {
@@ -237,11 +239,12 @@ func (e *Engine) runInstrumented(ctx context.Context, prog *ast.Program, snap *s
 
 // run executes the program statements, returning the result, the number of
 // statements executed, and the terminal error.
-func (e *Engine) run(ctx context.Context, prog *ast.Program, snap *store.Snapshot) (*Result, int, error) {
+func (e *Engine) run(ctx context.Context, prog *ast.Program, snap *store.Snapshot, st *streamState) (*Result, int, error) {
 	env := &environment{
 		engine:  e,
 		ctx:     ctx,
 		snap:    snap,
+		stream:  st,
 		stats:   &match.Stats{},
 		decls:   map[string]*ast.GraphDecl{},
 		vars:    map[string]*graph.Graph{},
@@ -257,6 +260,12 @@ func (e *Engine) run(ctx context.Context, prog *ast.Program, snap *store.Snapsho
 			}
 		}
 		if err := env.exec(s); err != nil {
+			// A completed stream (take reached, sink stop) ends the program
+			// early without failing it; later statements do not run and the
+			// truncation is recorded on the stream state.
+			if st != nil && errors.Is(err, errStreamDone) {
+				return &Result{Vars: env.vars, Stats: env.stats}, i + 1, nil
+			}
 			return nil, i, err
 		}
 	}
@@ -265,9 +274,12 @@ func (e *Engine) run(ctx context.Context, prog *ast.Program, snap *store.Snapsho
 
 // environment is the mutable execution state.
 type environment struct {
-	engine  *Engine
-	ctx     context.Context
-	snap    *store.Snapshot
+	engine *Engine
+	ctx    context.Context
+	snap   *store.Snapshot
+	// stream, when non-nil, routes return clauses through the streaming
+	// pipeline (rows pushed to the sink instead of collected into out).
+	stream  *streamState
 	stats   *match.Stats
 	decls   map[string]*ast.GraphDecl
 	vars    map[string]*graph.Graph
@@ -446,6 +458,14 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 
 	workers := env.engine.workerCount()
 	for _, p := range pats {
+		// A streaming return clause pipelines selection into the sink; let
+		// clauses stay buffered (the fold result is a variable, not rows).
+		if f.Return != nil && env.stream != nil {
+			if err := env.streamPattern(fctx, fsp, d, p, f, opts, workers); err != nil {
+				return err
+			}
+			continue
+		}
 		ms, err := env.selectDoc(fctx, fsp, d, p, f.Doc, opts, workers)
 		if err != nil {
 			return err
@@ -500,27 +520,37 @@ func (env *environment) selectDoc(ctx context.Context, fsp *obs.Span, d *store.D
 		co := &store.Coordinator{Selector: engine.Selector}
 		return co.Select(ctx, d, p, opts, engine.IxFor, workers, env.stats)
 	}
-	coll := d.Collection()
-	target := coll
-	if cix != nil {
-		isp := fsp.StartChild("index-filter")
-		cands, err := cix.Candidates(p)
-		isp.End()
-		if err != nil {
-			return nil, err
-		}
-		isp.Add("total", int64(len(coll)))
-		isp.Add("candidates", int64(len(cands)))
-		isp.Add("pruned", int64(len(coll)-len(cands)))
-		obs.GindexCandidates.Add(int64(len(cands)))
-		obs.GindexPruned.Add(int64(len(coll) - len(cands)))
-		filtered := make(graph.Collection, len(cands))
-		for i, gi := range cands {
-			filtered[i] = coll[gi]
-		}
-		target = filtered
+	target, err := env.filterCandidates(fsp, d.Collection(), cix, p)
+	if err != nil {
+		return nil, err
 	}
 	return algebra.SelectionContext(ctx, p, target, opts, engine.IxFor, workers, env.stats)
+}
+
+// filterCandidates applies a collection path index (when present) ahead of
+// selection: the candidate ordinals become the target collection, with the
+// filter counters recorded on an index-filter span. A nil index passes the
+// collection through. Shared by the buffered and streaming access paths.
+func (env *environment) filterCandidates(fsp *obs.Span, coll graph.Collection, cix *gindex.Index, p *pattern.Pattern) (graph.Collection, error) {
+	if cix == nil {
+		return coll, nil
+	}
+	isp := fsp.StartChild("index-filter")
+	cands, err := cix.Candidates(p)
+	isp.End()
+	if err != nil {
+		return nil, err
+	}
+	isp.Add("total", int64(len(coll)))
+	isp.Add("candidates", int64(len(cands)))
+	isp.Add("pruned", int64(len(coll)-len(cands)))
+	obs.GindexCandidates.Add(int64(len(cands)))
+	obs.GindexPruned.Add(int64(len(coll) - len(cands)))
+	filtered := make(graph.Collection, len(cands))
+	for i, gi := range cands {
+		filtered[i] = coll[gi]
+	}
+	return filtered, nil
 }
 
 // returnFanout instantiates the return template for every match on the

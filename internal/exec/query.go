@@ -5,15 +5,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"gqldb/internal/ast"
 	"gqldb/internal/graph"
 	"gqldb/internal/lexer"
-	"gqldb/internal/match"
-	"gqldb/internal/obs"
-	"gqldb/internal/parser"
-	"gqldb/internal/store"
 )
 
 // ParseError marks a RunQuery failure as a syntax error in the source
@@ -44,83 +39,27 @@ func (e *ParseError) Unwrap() error { return e.Err }
 //
 // Parse failures return a *ParseError; they are not counted as query
 // executions.
+//
+// RunQuery is a thin collect-sink wrapper over StreamQuery: the buffered
+// result is exactly the streamed row sequence, so the two surfaces cannot
+// drift.
 func (e *Engine) RunQuery(ctx context.Context, src string) (*Result, error) {
-	ctx, root, rooted := e.traceRoot(ctx)
-	psp := root.StartChild("parse")
-	prog, err := parser.Parse(src)
-	psp.End()
-	if err != nil {
-		if rooted {
-			root.End()
-		}
-		return nil, &ParseError{Err: err}
-	}
-	snap := e.snapshot()
-	var key store.CacheKey
-	if e.Cache != nil {
-		key = store.CacheKey{
-			Program: canonicalProgram(src),
-			Docs:    strings.Join(docsOf(prog), "\x00"),
-			Version: snap.Version(),
-		}
-		if v, ok := e.Cache.Get(key); ok {
-			obs.Queries.Inc()
-			start := time.Now()
-			res := v.(*cachedResult).toResult()
-			obs.QuerySeconds.Observe(time.Since(start))
-			hsp := root.StartChild("cache-hit")
-			hsp.Add("graphs", int64(len(res.Out)))
-			hsp.End()
-			if rooted {
-				root.End()
-			}
-			res.Trace = root
-			return res, nil
-		}
-	}
-	res, err := e.runInstrumented(ctx, prog, snap)
-	if rooted {
-		root.End()
-	}
+	sink := &CollectSink{}
+	sres, err := e.StreamQuery(ctx, src, sink, StreamOptions{Take: AllRows})
 	if err != nil {
 		return nil, err
 	}
-	if e.Cache != nil {
-		e.Cache.Put(key, newCachedResult(res))
-	}
-	res.Trace = root
-	return res, nil
+	return &Result{Out: sink.Graphs, Vars: sres.Vars, Stats: sres.Stats, Trace: sres.Trace}, nil
 }
 
 // cachedResult is the engine's cache entry: deep copies of the output
 // collection and final graph variables. Stats and Trace are per-execution
-// and deliberately not cached.
+// and deliberately not cached. Entries are filled from the cache-fill
+// clones a complete un-truncated stream records, and replayed row-by-row
+// (cloned out per row) on a hit — see StreamQuery.
 type cachedResult struct {
 	out  graph.Collection
 	vars map[string]*graph.Graph
-}
-
-// newCachedResult deep-copies a result into an entry. The copy happens at
-// Put time, so callers mutating the returned Result never reach the cache.
-func newCachedResult(res *Result) *cachedResult {
-	return &cachedResult{out: cloneCollection(res.Out), vars: cloneVars(res.Vars)}
-}
-
-// toResult deep-copies the entry back out. A cache hit executed no
-// operators, so Stats is a fresh empty record.
-func (c *cachedResult) toResult() *Result {
-	return &Result{Out: cloneCollection(c.out), Vars: cloneVars(c.vars), Stats: &match.Stats{}}
-}
-
-func cloneCollection(c graph.Collection) graph.Collection {
-	if c == nil {
-		return nil
-	}
-	out := make(graph.Collection, len(c))
-	for i, g := range c {
-		out[i] = g.Clone()
-	}
-	return out
 }
 
 func cloneVars(m map[string]*graph.Graph) map[string]*graph.Graph {

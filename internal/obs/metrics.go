@@ -189,6 +189,16 @@ var (
 	HTTPOverload = newCounter("gqldb_http_overload_rejections_total", "queries rejected by the admission limiter")
 	// HTTPTimeouts counts queries that hit their per-request deadline.
 	HTTPTimeouts = newCounter("gqldb_http_request_timeouts_total", "queries terminated by the per-request deadline")
+	// StreamRows counts result rows pushed through streaming result sinks
+	// (every RunQuery collect and the v2 NDJSON surface).
+	StreamRows = newCounter("gqldb_stream_rows_total", "result rows pushed through streaming sinks")
+	// StreamTruncations counts streams ended early by a take limit or a
+	// sink stop (truncated streams never fill the result cache).
+	StreamTruncations = newCounter("gqldb_stream_truncations_total", "result streams ended early by take or sink stop")
+	// StreamFlushes counts forced flushes of streamed HTTP responses.
+	StreamFlushes = newCounter("gqldb_stream_flushes_total", "forced flushes of streamed HTTP responses")
+	// BatchQueries counts programs executed through the v2 batch endpoint.
+	BatchQueries = newCounter("gqldb_batch_queries_total", "programs executed via the v2 batch endpoint")
 	// QuerySeconds is the end-to-end program latency distribution.
 	QuerySeconds = newHistogram("gqldb_query_seconds", "program wall time")
 	// SelectionSeconds is the per-selection-operator latency distribution.

@@ -1,0 +1,74 @@
+// The one row encoder both wire versions share. v1's buffered results
+// array and v2's NDJSON row lines render graphs through renderGraph and
+// variables through renderVars, so the two surfaces cannot drift: a v2
+// stream concatenated is byte-identical to the v1 results array for the
+// same program.
+package server
+
+import (
+	"strings"
+
+	"gqldb/internal/graph"
+)
+
+// renderGraph renders one result graph in the language's text syntax —
+// the single row encoding of both API versions.
+func renderGraph(g *graph.Graph) string { return g.String() }
+
+// renderVars renders the final graph variables by name; empty maps encode
+// as absent.
+func renderVars(vars map[string]*graph.Graph) map[string]string {
+	if len(vars) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(vars))
+	for name, g := range vars {
+		out[name] = renderGraph(g)
+	}
+	return out
+}
+
+// projectRow applies the v2 field projection to one result graph: each
+// path is "<element>.<attribute>" where the element is a node name first,
+// then an edge name. A path that names nothing present maps to null —
+// projection never fails a row, so heterogeneous results stay streamable.
+func projectRow(g *graph.Graph, paths []string) map[string]any {
+	out := make(map[string]any, len(paths))
+	for _, path := range paths {
+		out[path] = projectPath(g, path)
+	}
+	return out
+}
+
+func projectPath(g *graph.Graph, path string) any {
+	elem, attr, ok := strings.Cut(path, ".")
+	if !ok {
+		return nil
+	}
+	var attrs *graph.Tuple
+	if id, found := g.NodeByName(elem); found {
+		attrs = g.Node(id).Attrs
+	} else if eid, found := g.EdgeByName(elem); found {
+		attrs = g.Edge(eid).Attrs
+	}
+	v, found := attrs.Get(attr)
+	if !found {
+		return nil
+	}
+	return jsonValue(v)
+}
+
+// jsonValue converts an attribute value to its natural JSON type.
+func jsonValue(v graph.Value) any {
+	switch v.Kind() {
+	case graph.KindInt:
+		return v.AsInt()
+	case graph.KindFloat:
+		return v.AsFloat()
+	case graph.KindString:
+		return v.AsString()
+	case graph.KindBool:
+		return v.AsBool()
+	}
+	return nil
+}

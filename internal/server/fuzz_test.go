@@ -99,3 +99,82 @@ func FuzzServerQuery(f *testing.F) {
 		}
 	})
 }
+
+// FuzzServerQueryV2 drives the streaming endpoints at the wire level:
+// arbitrary JSON envelopes (and raw bodies) against /v2/query and
+// /v2/batch. The contract under ANY input: never a 500; a 200 is an NDJSON
+// stream where every line is one well-formed JSON value; any other status
+// is the JSON error shape with a known code.
+func FuzzServerQueryV2(f *testing.F) {
+	// Single-query envelopes: valid, paginated, projected, malformed
+	// cursors, wrong-typed fields, raw-program framing.
+	f.Add([]byte(`{"query":"for graph Q { node v1 <author>; } exhaustive in doc(\"DBLP\") return graph { node Q.v1; };"}`), true, false)
+	f.Add([]byte(`{"query":"for graph Q { node v1 <author>; } exhaustive in doc(\"DBLP\") return graph { node Q.v1; };","skip":1,"take":2}`), true, false)
+	f.Add([]byte(`{"query":"for graph Q { node v1 <author>; } exhaustive in doc(\"DBLP\") return graph { node Q.v1; };","project":["Q_v1.name","nope"]}`), true, false)
+	f.Add([]byte(`{"query":"graph G { node a; };","skip":-3}`), true, false)
+	f.Add([]byte(`{"query":"graph G { node a; };","take":-1}`), true, false)
+	f.Add([]byte(`{"query":"graph G { node a; };","take":999999999}`), true, false)
+	f.Add([]byte(`{"query":42,"skip":"x"}`), true, false)
+	f.Add([]byte("for graph Q { node v1; } in doc(\"NOPE\") return graph { node Q.v1; };"), false, false)
+	f.Add([]byte("((((((((((("), false, false)
+	f.Add([]byte(""), false, false)
+	// Batch envelopes: valid, mixed-validity, empty, oversized, malformed.
+	f.Add([]byte(`{"queries":[{"query":"graph G { node a; };"},{"query":"","skip":-1}]}`), true, true)
+	f.Add([]byte(`{"queries":[]}`), true, true)
+	f.Add([]byte(`{"queries":[{"query":"for graph Q { node v1 <author>; } exhaustive in doc(\"DBLP\") return graph { node Q.v1; };","take":1},{"query":")"}]}`), true, true)
+	f.Add([]byte(`{"queries":`), true, true)
+	f.Add([]byte(`[]`), true, true)
+	f.Add([]byte("\xff\xfe invalid utf8"), false, true)
+
+	f.Fuzz(func(t *testing.T, body []byte, asJSON, batch bool) {
+		s := fuzzServer()
+		path := "/v2/query"
+		if batch {
+			path = "/v2/batch"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(body)))
+		if asJSON {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+
+		res := rec.Result()
+		if res.StatusCode == http.StatusInternalServerError {
+			t.Fatalf("%s returned 500 (handler panic) for body %q", path, body)
+		}
+		ct := res.Header.Get("Content-Type")
+		if res.StatusCode == http.StatusOK {
+			// Streamed success: NDJSON, every line a well-formed JSON value,
+			// and a trailing newline after the last line.
+			if !strings.HasPrefix(ct, "application/x-ndjson") {
+				t.Fatalf("%s 200 with Content-Type %q, want application/x-ndjson", path, ct)
+			}
+			out := rec.Body.Bytes()
+			if len(out) == 0 || out[len(out)-1] != '\n' {
+				t.Fatalf("%s stream does not end in a newline: %q", path, out)
+			}
+			for i, line := range strings.Split(strings.TrimRight(string(out), "\n"), "\n") {
+				if !json.Valid([]byte(line)) {
+					t.Fatalf("%s line %d is not valid JSON: %q", path, i, line)
+				}
+			}
+			return
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s returned Content-Type %q, want application/json (status %d, body %q)",
+				path, ct, res.StatusCode, rec.Body.Bytes())
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code == "" {
+			t.Fatalf("%s status %d without the error shape: %q", path, res.StatusCode, rec.Body.Bytes())
+		}
+		switch er.Error.Code {
+		case "bad_request", "parse_error", "eval_error", "timeout", "canceled",
+			"body_too_large", "overloaded", "draining":
+		default:
+			t.Fatalf("%s returned unknown error code %q (status %d) for body %q",
+				path, er.Error.Code, res.StatusCode, body)
+		}
+	})
+}

@@ -20,7 +20,9 @@ import (
 	"gqldb/internal/store"
 )
 
-// queryRequest is the JSON envelope of /query and /explain.
+// queryRequest is the JSON envelope of /query, /explain and /v2/query
+// (the v1 fields are frozen; skip/take/project only act on the v2
+// endpoints).
 type queryRequest struct {
 	// Query is the GraphQL program source.
 	Query string `json:"query"`
@@ -30,6 +32,15 @@ type queryRequest struct {
 	// Workers overrides the engine's for-clause fan-out for this request
 	// (negative means GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// Skip (v2) drops the first Skip result rows inside the pipeline —
+	// skipped rows are never materialized.
+	Skip int `json:"skip,omitempty"`
+	// Take (v2) caps the emitted rows: absent streams everything (subject
+	// to Config.MaxTake), 0 emits no rows (summary only).
+	Take *int `json:"take,omitempty"`
+	// Project (v2) selects per-row fields ("node.attr" paths) instead of
+	// the rendered graph text.
+	Project []string `json:"project,omitempty"`
 }
 
 // queryResponse is the success shape of /query.
@@ -181,22 +192,30 @@ func (s *Server) runRequest(w *statusWriter, r *http.Request, trace bool) (*exec
 	res, err := eng.RunQuery(ctx, req.Query)
 	wall := time.Since(start)
 	if err != nil {
-		var parseErr *exec.ParseError
-		switch {
-		case errors.As(err, &parseErr):
-			writeError(w, http.StatusBadRequest, "parse_error", parseErr.Error())
-		case errors.Is(err, context.DeadlineExceeded):
-			obs.HTTPTimeouts.Inc()
-			writeError(w, http.StatusGatewayTimeout, "timeout",
-				fmt.Sprintf("query exceeded its deadline of %v", s.timeout(req)))
-		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "canceled", "query canceled: "+err.Error())
-		default:
-			writeError(w, http.StatusUnprocessableEntity, "eval_error", err.Error())
-		}
+		status, code, msg := s.errorFor(req, err)
+		writeError(w, status, code, msg)
 		return nil, 0, false
 	}
 	return res, wall, true
+}
+
+// errorFor maps an engine error to the wire contract shared by v1 and v2:
+// the HTTP status, the stable error code and the client message. Timeouts
+// are counted here so both surfaces feed one metric.
+func (s *Server) errorFor(req queryRequest, err error) (status int, code, msg string) {
+	var parseErr *exec.ParseError
+	switch {
+	case errors.As(err, &parseErr):
+		return http.StatusBadRequest, "parse_error", parseErr.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		obs.HTTPTimeouts.Inc()
+		return http.StatusGatewayTimeout, "timeout",
+			fmt.Sprintf("query exceeded its deadline of %v", s.timeout(req))
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled", "query canceled: " + err.Error()
+	default:
+		return http.StatusUnprocessableEntity, "eval_error", err.Error()
+	}
 }
 
 // handleQuery serves POST /query.
@@ -208,15 +227,10 @@ func (s *Server) handleQuery(w *statusWriter, r *http.Request) {
 	out := queryResponse{
 		Results: make([]string, len(res.Out)),
 		WallMS:  float64(wall) / float64(time.Millisecond),
+		Vars:    renderVars(res.Vars),
 	}
 	for i, g := range res.Out {
-		out.Results[i] = g.String()
-	}
-	if len(res.Vars) > 0 {
-		out.Vars = make(map[string]string, len(res.Vars))
-		for name, g := range res.Vars {
-			out.Vars[name] = g.String()
-		}
+		out.Results[i] = renderGraph(g)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

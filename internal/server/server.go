@@ -5,8 +5,17 @@
 // Endpoints:
 //
 //	POST /query    run a program, return result graphs and variables
+//	               (v1, buffered; the envelope is frozen)
 //	POST /explain  run a program traced, return the span tree and
 //	               per-operator table
+//	POST /v2/query streaming NDJSON: one line per result row as the
+//	               pipeline produces it, with skip/take cursor pagination
+//	               and per-row field projection, then a summary line
+//	POST /v2/batch several programs in one request, pinned to one store
+//	               snapshot, streamed back as interleaved NDJSON with a
+//	               query index on every line
+//	GET  /v2/schema loaded documents, store version and per-document
+//	               attribute inventory
 //	GET  /metrics  Prometheus text dump of the process metrics registry
 //	GET  /debug/vars  expvar (includes the "gqldb" snapshot var)
 //	GET  /healthz  liveness + drain state + in-flight count
@@ -58,6 +67,18 @@ type Config struct {
 	// AccessLog receives one record per finished request; nil logs through
 	// the standard logger.
 	AccessLog func(AccessRecord)
+	// FlushInterval paces the periodic flushes of streamed v2 responses:
+	// rows are flushed to the client whenever this much time has passed
+	// since the last flush. Zero takes the 100ms default; negative flushes
+	// after every row (useful for tests and interactive agents).
+	FlushInterval time.Duration
+	// MaxTake caps the per-query take of the v2 endpoints: requests asking
+	// for more (or for everything) are truncated at the cap and handed a
+	// next_skip cursor. Zero means uncapped.
+	MaxTake int
+	// MaxBatch caps the number of programs one /v2/batch request may
+	// carry. Default: 16.
+	MaxBatch int
 }
 
 // AccessRecord is one structured access-log line.
@@ -125,6 +146,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 5 * time.Minute
 	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 100 * time.Millisecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -136,6 +163,9 @@ func New(cfg Config) *Server {
 	}
 	s.mux.Handle("POST /query", s.wrap("/query", s.handleQuery))
 	s.mux.Handle("POST /explain", s.wrap("/explain", s.handleExplain))
+	s.mux.Handle("POST /v2/query", s.wrap("/v2/query", s.handleQueryV2))
+	s.mux.Handle("POST /v2/batch", s.wrap("/v2/batch", s.handleBatchV2))
+	s.mux.Handle("GET /v2/schema", s.wrap("/v2/schema", s.handleSchemaV2))
 	s.mux.Handle("GET /healthz", s.wrap("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", obs.Handler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -185,6 +215,15 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += n
 	return n, err
+}
+
+// Flush forwards to the underlying writer's http.Flusher (the streaming v2
+// endpoints push buffered NDJSON rows to the client); a non-flushing
+// writer is a no-op.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // wrap is the middleware chain shared by every JSON endpoint: panic

@@ -1,0 +1,513 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gqldb/internal/exec"
+	"gqldb/internal/graph"
+	"gqldb/internal/store"
+)
+
+// manyAuthors returns n single-author graphs with distinct names —
+// distinguishable, ordered result rows for the v1/v2 comparisons.
+func manyAuthors(n int) graph.Collection {
+	c := make(graph.Collection, 0, n)
+	for i := 0; i < n; i++ {
+		g := graph.New(fmt.Sprintf("G%d", i))
+		g.AddNode("v1", graph.TupleOf("author", "name", fmt.Sprintf("A%05d", i)))
+		c = append(c, g)
+	}
+	return c
+}
+
+// newV2Server builds a server whose DBLP document is partitioned into the
+// given shard count.
+func newV2Server(t *testing.T, coll graph.Collection, shards int, mut func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	ds := store.New(store.Options{Shards: shards})
+	ds.RegisterDoc("DBLP", coll)
+	cfg := Config{
+		Engine:        exec.NewOver(ds),
+		Timeout:       10 * time.Second,
+		FlushInterval: -1, // deterministic: every line reaches the client
+		AccessLog:     func(AccessRecord) {},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// v2Line decodes any NDJSON line shape (row, summary or error).
+type v2Line struct {
+	Query *int `json:"query"`
+	Row   *struct {
+		N      int            `json:"n"`
+		Graph  string         `json:"graph"`
+		Values map[string]any `json:"values"`
+	} `json:"row"`
+	Summary *struct {
+		Rows      int               `json:"rows"`
+		Skipped   int               `json:"skipped"`
+		Truncated bool              `json:"truncated"`
+		NextSkip  *int              `json:"next_skip"`
+		CacheHit  bool              `json:"cache_hit"`
+		WallMS    float64           `json:"wall_ms"`
+		Vars      map[string]string `json:"vars"`
+	} `json:"summary"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// postV2 posts the envelope to path and decodes the NDJSON stream,
+// enforcing the wire contract: the streaming content type and one valid
+// JSON value per line.
+func postV2(t *testing.T, url string, envelope any) (*http.Response, []v2Line) {
+	t.Helper()
+	body, err := json.Marshal(envelope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		// Pre-stream errors are plain JSON; return them undecoded.
+		return resp, nil
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q, want application/x-ndjson", ct)
+	}
+	var lines []v2Line
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if !json.Valid(raw) {
+			t.Fatalf("line %d is not valid JSON: %q", len(lines), raw)
+		}
+		var ln v2Line
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			t.Fatalf("line %d: %v", len(lines), err)
+		}
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, lines
+}
+
+// v1Results fetches the buffered v1 result rows — the oracle every v2
+// stream is compared against.
+func v1Results(t *testing.T, url string) []string {
+	t.Helper()
+	var out queryResponse
+	resp := postJSON(t, url+"/query", queryRequest{Query: authorsQuery}, &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("v1 status = %d", resp.StatusCode)
+	}
+	return out.Results
+}
+
+// TestV2StreamMatchesV1Grid is the HTTP acceptance grid: for every shard
+// count, worker count and skip/take edge, the concatenated v2 row graphs
+// are byte-identical to the frozen v1 results array windowed in plain Go.
+func TestV2StreamMatchesV1Grid(t *testing.T) {
+	const n = 23
+	coll := manyAuthors(n)
+	windows := []struct {
+		skip int
+		take *int
+	}{
+		{0, nil}, {0, intp(0)}, {0, intp(3)}, {2, intp(3)},
+		{0, intp(n)}, {0, intp(n + 5)}, {n - 1, nil}, {n + 5, nil},
+	}
+	for _, shards := range []int{1, 4, 17} {
+		_, ts := newV2Server(t, coll, shards, nil)
+		all := v1Results(t, ts.URL)
+		if len(all) != n {
+			t.Fatalf("shards=%d: v1 rows = %d, want %d", shards, len(all), n)
+		}
+		for _, workers := range []int{1, 16} {
+			for _, win := range windows {
+				name := fmt.Sprintf("shards=%d/workers=%d/skip=%d/take=%v", shards, workers, win.skip, takeStr(win.take))
+				t.Run(name, func(t *testing.T) {
+					env := map[string]any{"query": authorsQuery, "workers": workers, "skip": win.skip}
+					if win.take != nil {
+						env["take"] = *win.take
+					}
+					resp, lines := postV2(t, ts.URL+"/v2/query", env)
+					if resp.StatusCode != 200 {
+						t.Fatalf("status = %d", resp.StatusCode)
+					}
+					if len(lines) == 0 || lines[len(lines)-1].Summary == nil {
+						t.Fatal("stream did not end with a summary line")
+					}
+					sum := lines[len(lines)-1].Summary
+					rows := lines[: len(lines)-1 : len(lines)-1]
+
+					take := -1
+					if win.take != nil {
+						take = *win.take
+					}
+					want, wantSkipped, wantTrunc := windowStrings(all, win.skip, take)
+					if len(rows) != len(want) {
+						t.Fatalf("rows = %d, want %d", len(rows), len(want))
+					}
+					for i, ln := range rows {
+						if ln.Row == nil {
+							t.Fatalf("line %d is not a row", i)
+						}
+						if ln.Row.N != win.skip+i {
+							t.Fatalf("row %d ordinal = %d, want %d", i, ln.Row.N, win.skip+i)
+						}
+						if ln.Row.Graph != want[i] {
+							t.Fatalf("row %d differs from v1:\ngot:  %s\nwant: %s", i, ln.Row.Graph, want[i])
+						}
+					}
+					if sum.Rows != len(want) || sum.Skipped != wantSkipped || sum.Truncated != wantTrunc {
+						t.Fatalf("summary rows=%d skipped=%d truncated=%v, want %d %d %v",
+							sum.Rows, sum.Skipped, sum.Truncated, len(want), wantSkipped, wantTrunc)
+					}
+					if wantTrunc {
+						if sum.NextSkip == nil || *sum.NextSkip != win.skip+len(want) {
+							t.Fatalf("next_skip = %v, want %d", sum.NextSkip, win.skip+len(want))
+						}
+					} else if sum.NextSkip != nil {
+						t.Fatalf("next_skip present on an un-truncated stream")
+					}
+				})
+			}
+		}
+	}
+}
+
+func intp(v int) *int { return &v }
+
+func takeStr(p *int) string {
+	if p == nil {
+		return "all"
+	}
+	return fmt.Sprint(*p)
+}
+
+// windowStrings applies the documented skip/take semantics (take checked
+// before and after every row) to the full result.
+func windowStrings(all []string, skip, take int) (rows []string, skipped int, truncated bool) {
+	rows = []string{}
+	for _, s := range all {
+		if take >= 0 && len(rows) >= take {
+			truncated = true
+			break
+		}
+		if skipped < skip {
+			skipped++
+			continue
+		}
+		rows = append(rows, s)
+		if take >= 0 && len(rows) >= take {
+			truncated = true
+			break
+		}
+	}
+	return rows, skipped, truncated
+}
+
+// TestV2Projection asks for per-row fields instead of graph text: known
+// paths carry the attribute's natural JSON type, unknown paths are null,
+// and the rendered graph is absent.
+func TestV2Projection(t *testing.T) {
+	_, ts := newV2Server(t, manyAuthors(4), 1, nil)
+	resp, lines := postV2(t, ts.URL+"/v2/query", map[string]any{
+		"query":   authorsQuery,
+		"project": []string{"Q_v1.name", "Q_v1.missing"},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	rows := lines[:len(lines)-1]
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i, ln := range rows {
+		if ln.Row.Graph != "" {
+			t.Fatalf("row %d carries graph text under projection", i)
+		}
+		if got, want := ln.Row.Values["Q_v1.name"], fmt.Sprintf("A%05d", i); got != want {
+			t.Fatalf("row %d name = %v, want %q", i, got, want)
+		}
+		if v, ok := ln.Row.Values["Q_v1.missing"]; !ok || v != nil {
+			t.Fatalf("row %d missing path = %v (present %v), want explicit null", i, v, ok)
+		}
+	}
+}
+
+// TestV2Validation rejects malformed cursors and surfaces engine errors
+// with the shared v1 error contract while the stream has not started.
+func TestV2Validation(t *testing.T) {
+	_, ts := newV2Server(t, manyAuthors(2), 1, nil)
+	cases := []struct {
+		name   string
+		env    map[string]any
+		status int
+		code   string
+	}{
+		{"negative skip", map[string]any{"query": authorsQuery, "skip": -1}, 400, "bad_request"},
+		{"negative take", map[string]any{"query": authorsQuery, "take": -1}, 400, "bad_request"},
+		{"parse error", map[string]any{"query": "for nonsense ;;;"}, 400, "parse_error"},
+		{"eval error", map[string]any{"query": `for graph Q { node v1 <author>; } in doc("NOPE") return graph { node Q.v1; };`}, 422, "eval_error"},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.env)
+		resp, err := http.Post(ts.URL+"/v2/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var e errorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status || e.Error.Code != tc.code {
+			t.Errorf("%s: status %d code %q, want %d %q (%s)",
+				tc.name, resp.StatusCode, e.Error.Code, tc.status, tc.code, e.Error.Message)
+		}
+	}
+}
+
+// TestV2MaxTakeCursor: the server-side take cap truncates unlimited
+// requests and the returned next_skip cursor resumes exactly where the
+// stream stopped.
+func TestV2MaxTakeCursor(t *testing.T) {
+	_, ts := newV2Server(t, manyAuthors(12), 4, func(c *Config) { c.MaxTake = 5 })
+	all := v1Results(t, ts.URL)
+
+	var got []string
+	skip := 0
+	for page := 0; page < 10; page++ {
+		_, lines := postV2(t, ts.URL+"/v2/query", map[string]any{"query": authorsQuery, "skip": skip})
+		sum := lines[len(lines)-1].Summary
+		for _, ln := range lines[:len(lines)-1] {
+			if ln.Row.N != len(got) {
+				t.Fatalf("ordinal %d, want %d (pages must be continuous)", ln.Row.N, len(got))
+			}
+			got = append(got, ln.Row.Graph)
+		}
+		if !sum.Truncated {
+			break
+		}
+		if sum.Rows > 5 {
+			t.Fatalf("page rows = %d exceeds MaxTake 5", sum.Rows)
+		}
+		skip = *sum.NextSkip
+	}
+	if len(got) != len(all) {
+		t.Fatalf("paged rows = %d, want %d", len(got), len(all))
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("paged row %d differs from v1", i)
+		}
+	}
+}
+
+// TestV2ClientDisconnect closes the connection mid-stream over a real
+// network socket: the query must unwind promptly and the aborted stream
+// must never fill the result cache.
+func TestV2ClientDisconnect(t *testing.T) {
+	s, ts := newV2Server(t, manyAuthors(100000), 1, func(c *Config) {
+		c.Engine.Cache = store.NewCache(8)
+	})
+	body, _ := json.Marshal(map[string]any{"query": authorsQuery})
+	resp, err := http.Post(ts.URL+"/v2/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one row so the stream has demonstrably started, then hang up.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	waitFor(t, 10*time.Second, func() bool { return s.Inflight() == 0 })
+	if n := s.engine.Cache.Stats().Entries; n != 0 {
+		t.Fatalf("aborted stream filled the cache: %d entries", n)
+	}
+}
+
+// TestV2Batch runs several programs on one stream: every line is tagged
+// with its query index, per-query validation failures are in-band error
+// lines, and healthy queries around them still complete.
+func TestV2Batch(t *testing.T) {
+	_, ts := newV2Server(t, manyAuthors(6), 4, nil)
+	env := map[string]any{
+		"queries": []map[string]any{
+			{"query": authorsQuery, "take": 2},
+			{"query": authorsQuery, "skip": -1}, // invalid: in-band error
+			{"query": authorsQuery, "skip": 4},
+		},
+	}
+	resp, lines := postV2(t, ts.URL+"/v2/batch", env)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	byQuery := map[int][]v2Line{}
+	for i, ln := range lines {
+		if ln.Query == nil {
+			t.Fatalf("line %d has no query tag", i)
+		}
+		byQuery[*ln.Query] = append(byQuery[*ln.Query], ln)
+	}
+	q0 := byQuery[0]
+	if len(q0) != 3 || q0[0].Row == nil || q0[1].Row == nil || q0[2].Summary == nil {
+		t.Fatalf("query 0: want 2 rows + summary, got %d lines", len(q0))
+	}
+	if !q0[2].Summary.Truncated || q0[2].Summary.Rows != 2 {
+		t.Fatalf("query 0 summary: rows=%d truncated=%v", q0[2].Summary.Rows, q0[2].Summary.Truncated)
+	}
+	q1 := byQuery[1]
+	if len(q1) != 1 || q1[0].Error == nil || q1[0].Error.Code != "bad_request" {
+		t.Fatalf("query 1: want one bad_request error line, got %+v", q1)
+	}
+	q2 := byQuery[2]
+	if len(q2) != 3 || q2[2].Summary == nil || q2[2].Summary.Rows != 2 || q2[2].Summary.Skipped != 4 {
+		t.Fatalf("query 2: want 2 rows after skip 4, got %d lines", len(q2))
+	}
+	if q2[0].Row.N != 4 {
+		t.Fatalf("query 2 first ordinal = %d, want 4", q2[0].Row.N)
+	}
+
+	// Batch-level validation failures are plain JSON errors.
+	for _, bad := range []any{
+		map[string]any{"queries": []map[string]any{}},
+		"{not json",
+	} {
+		var buf []byte
+		if s, ok := bad.(string); ok {
+			buf = []byte(s)
+		} else {
+			buf, _ = json.Marshal(bad)
+		}
+		r2, err := http.Post(ts.URL+"/v2/batch", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != 400 {
+			t.Fatalf("batch validation status = %d, want 400", r2.StatusCode)
+		}
+	}
+}
+
+// TestV2BatchLimit rejects batches beyond Config.MaxBatch up front.
+func TestV2BatchLimit(t *testing.T) {
+	_, ts := newV2Server(t, manyAuthors(2), 1, func(c *Config) { c.MaxBatch = 2 })
+	env := map[string]any{"queries": []map[string]any{
+		{"query": authorsQuery}, {"query": authorsQuery}, {"query": authorsQuery},
+	}}
+	body, _ := json.Marshal(env)
+	resp, err := http.Post(ts.URL+"/v2/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("over-limit batch status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestV2Schema reads the introspection surface an agent starts from.
+func TestV2Schema(t *testing.T) {
+	s, ts := newV2Server(t, manyAuthors(7), 4, nil)
+	s.RegisterDoc("TINY", dblp())
+
+	resp, err := http.Get(ts.URL + "/v2/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		API          string `json:"api"`
+		StoreVersion uint64 `json:"store_version"`
+		Docs         []struct {
+			Name      string           `json:"name"`
+			Graphs    int              `json:"graphs"`
+			Shards    int              `json:"shards"`
+			Indexed   bool             `json:"indexed"`
+			Nodes     int64            `json:"nodes"`
+			Edges     int64            `json:"edges"`
+			NodeAttrs map[string]int64 `json:"node_attrs"`
+		} `json:"docs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.API != "v2" || out.StoreVersion == 0 {
+		t.Fatalf("api=%q store_version=%d", out.API, out.StoreVersion)
+	}
+	byName := map[string]int{}
+	for i, d := range out.Docs {
+		byName[d.Name] = i
+	}
+	i, ok := byName["DBLP"]
+	if !ok {
+		t.Fatal("DBLP missing from schema")
+	}
+	if d := out.Docs[i]; d.Graphs != 7 || d.Nodes != 7 || d.Shards != 4 || d.NodeAttrs["name"] != 7 {
+		t.Fatalf("DBLP schema = %+v", d)
+	}
+	j, ok := byName["TINY"]
+	if !ok {
+		t.Fatal("TINY missing from schema")
+	}
+	if d := out.Docs[j]; d.Graphs != 2 || d.Nodes != 5 {
+		t.Fatalf("TINY schema = %+v", d)
+	}
+	if strings.Contains(resp.Header.Get("Content-Type"), "ndjson") {
+		t.Fatal("schema is a buffered JSON document, not a stream")
+	}
+}
+
+// TestV2CacheHitStreams: a second identical v2 query replays from the
+// result cache and says so in the summary, with identical rows.
+func TestV2CacheHitStreams(t *testing.T) {
+	_, ts := newV2Server(t, manyAuthors(5), 1, func(c *Config) {
+		c.Engine.Cache = store.NewCache(8)
+	})
+	_, first := postV2(t, ts.URL+"/v2/query", map[string]any{"query": authorsQuery})
+	_, second := postV2(t, ts.URL+"/v2/query", map[string]any{"query": authorsQuery})
+	fs := first[len(first)-1].Summary
+	ss := second[len(second)-1].Summary
+	if fs.CacheHit {
+		t.Fatal("first run reported cache_hit")
+	}
+	if !ss.CacheHit {
+		t.Fatal("second run did not report cache_hit")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("replay line count %d != %d", len(second), len(first))
+	}
+	for i := range first[:len(first)-1] {
+		if first[i].Row.Graph != second[i].Row.Graph {
+			t.Fatalf("replayed row %d differs", i)
+		}
+	}
+}

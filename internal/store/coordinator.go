@@ -106,17 +106,38 @@ type Coordinator struct {
 }
 
 // Select evaluates σ_P over the document: every shard is handed to the
-// selector on the worker pool, and the per-shard match groups are placed
-// into slots addressed by canonical ordinal — so the concatenated output is
+// selector on the worker pool, and the per-shard match groups are merged
+// back in canonical ordinal order — so the concatenated output is
 // byte-identical to a serial scan of the unsharded collection (same graph
-// order, same binding order within each graph).
+// order, same binding order within each graph). Select is the collect form
+// of SelectStream.
 //
 // workers bounds the total fan-out: shards run concurrently (at most
 // workers at once) and each shard's local pool gets an equal share, so the
 // end-to-end goroutine count stays ~workers regardless of shard count.
 func (co *Coordinator) Select(ctx context.Context, d *Doc, p *pattern.Pattern, opt match.Options, ixFor func(*graph.Graph) *match.Index, workers int, stats *match.Stats) (algebra.Matched, error) {
-	if err := p.Compile(); err != nil {
+	var out algebra.Matched
+	err := co.SelectStream(ctx, d, p, opt, ixFor, workers, stats, func(ms algebra.Matched) error {
+		out = append(out, ms...)
+		return nil
+	})
+	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// SelectStream is Select with a push consumer: shards still evaluate
+// concurrently, but the merge is a frontier walk — as each shard reports
+// done, every canonical ordinal whose owning shard has finished is emitted
+// (non-empty groups only, ascending ordinal), so downstream consumers see
+// the first rows while slower shards are still matching. emit runs on the
+// calling goroutine; an emit error (including the streaming pipeline's
+// early-stop sentinel) cancels the remaining shard fan-out and is returned
+// as-is.
+func (co *Coordinator) SelectStream(ctx context.Context, d *Doc, p *pattern.Pattern, opt match.Options, ixFor func(*graph.Graph) *match.Index, workers int, stats *match.Stats, emit func(algebra.Matched) error) error {
+	if err := p.Compile(); err != nil {
+		return err
 	}
 	sel := co.Selector
 	if sel == nil {
@@ -139,46 +160,118 @@ func (co *Coordinator) Select(ctx context.Context, d *Doc, p *pattern.Pattern, o
 		sp.Add("workers", int64(resolved))
 	}
 	start := time.Now()
-	results := make([]ShardResult, len(shards))
-	err := pool.Run(sctx, len(shards), outer, func(i int) error {
-		req := ShardRequest{Shard: shards[i], P: p, Opt: opt, IxFor: ixFor, Workers: inner}
-		res, err := sel.SelectShard(sctx, req)
-		if err != nil {
-			return err
+
+	// Ordinal ownership: which shard (and local index) holds each canonical
+	// ordinal, so the frontier walk reads groups straight out of shard
+	// results without building a slot array.
+	ordShard := make([]int32, d.Len())
+	ordLocal := make([]int32, d.Len())
+	for si, sh := range shards {
+		for li, ord := range sh.Ords {
+			ordShard[ord] = int32(si)
+			ordLocal[ord] = int32(li)
 		}
-		results[i] = res
+	}
+
+	fanCtx, cancel := context.WithCancel(sctx)
+	defer cancel()
+	// done carries shard indexes as they complete (buffered: workers never
+	// block on it); perr carries the pool's terminal error. The done send
+	// happens before pool.Run returns, so results[si] is safely published
+	// to the merging goroutine by the channel receive.
+	doneCh := make(chan int, len(shards))
+	perr := make(chan error, 1)
+	results := make([]ShardResult, len(shards))
+	go func() {
+		perr <- pool.Run(fanCtx, len(shards), outer, func(i int) error {
+			req := ShardRequest{Shard: shards[i], P: p, Opt: opt, IxFor: ixFor, Workers: inner}
+			res, err := sel.SelectShard(fanCtx, req)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			doneCh <- i
+			return nil
+		})
+	}()
+
+	ready := make([]bool, len(shards))
+	frontier := 0
+	matches := 0
+	candidates := 0
+	// advance emits every ordinal whose owning shard has reported, in
+	// ascending canonical order — exactly the serial-scan sequence.
+	advance := func() error {
+		for frontier < d.Len() && ready[ordShard[frontier]] {
+			group := results[ordShard[frontier]].Groups[ordLocal[frontier]]
+			frontier++
+			if len(group) == 0 {
+				continue
+			}
+			matches += len(group)
+			if err := emit(group); err != nil {
+				return err
+			}
+		}
 		return nil
-	})
-	if err != nil {
+	}
+	arrived := func(si int) error {
+		ready[si] = true
+		candidates += results[si].Candidates
+		return advance()
+	}
+
+	remaining := len(shards)
+	poolDone := false
+	var poolErr, emitErr error
+	for remaining > 0 && emitErr == nil && !poolDone {
+		select {
+		case si := <-doneCh:
+			remaining--
+			emitErr = arrived(si)
+		case poolErr = <-perr:
+			poolDone = true
+			// Completion signals that raced the pool's return are buffered;
+			// drain them (a failed pool leaves some shards unsignaled — the
+			// default arm ends the drain).
+			for remaining > 0 && emitErr == nil {
+				select {
+				case si := <-doneCh:
+					remaining--
+					emitErr = arrived(si)
+				default:
+					remaining = 0
+				}
+			}
+		}
+	}
+	if emitErr != nil {
+		// The consumer stopped the stream (or failed): cancel the in-flight
+		// shards and wait for the pool to unwind before returning.
+		cancel()
+		if !poolDone {
+			<-perr
+		}
 		sp.End()
-		return nil, err
+		return emitErr
+	}
+	if !poolDone {
+		poolErr = <-perr
+	}
+	if poolErr != nil {
+		sp.End()
+		return poolErr
 	}
 	wall := time.Since(start)
 	obs.ShardedSelections.Inc()
 	obs.SelectionSeconds.Observe(wall)
 	stats.RecordOp("sharded-selection", d.Len(), resolved, wall)
-	// Merge: shard-local groups land in canonical-ordinal slots, then the
-	// slots concatenate ascending — the exact order of a serial scan.
-	slots := make([]algebra.Matched, d.Len())
-	candidates := 0
-	for si, res := range results {
-		candidates += res.Candidates
-		for li, group := range res.Groups {
-			if group != nil {
-				slots[shards[si].Ords[li]] = group
-			}
-		}
-	}
-	var out algebra.Matched
-	for _, ms := range slots {
-		out = append(out, ms...)
-	}
-	obs.Matches.Add(int64(len(out)))
+	obs.Matches.Add(int64(matches))
 	if sp != nil {
 		sp.Add("cand_shards", int64(candidates))
-		sp.Add("matches", int64(len(out)))
+		sp.Add("matches", int64(matches))
 	}
 	sp.SetAttr("pattern", p.Name)
 	sp.End()
-	return out, nil
+	return nil
 }

@@ -1,0 +1,57 @@
+package store
+
+// DocStats is a document's size and attribute inventory — the schema
+// introspection a client (or agent) reads before writing queries: how many
+// graphs/nodes/edges the document holds and which attribute names appear,
+// with occurrence counts. Computed lazily once per document and shared by
+// reference afterwards; callers must treat it (maps included) as
+// read-only.
+type DocStats struct {
+	// Graphs is the number of member graphs.
+	Graphs int
+	// Shards is the partition width (1 for unsharded documents).
+	Shards int
+	// Indexed reports that the shards carry path-feature indexes.
+	Indexed bool
+	// Nodes and Edges are totals across all member graphs.
+	Nodes int64
+	Edges int64
+	// NodeAttrs and EdgeAttrs count, per attribute name, how many nodes
+	// (edges) carry it across the whole document.
+	NodeAttrs map[string]int64
+	EdgeAttrs map[string]int64
+}
+
+// Stats returns the document's attribute inventory, computing it on first
+// use. Documents are immutable after Build, so the result never goes
+// stale; concurrent callers share one computation (and one value — treat
+// it as read-only).
+func (d *Doc) Stats() *DocStats {
+	d.statsOnce.Do(func() {
+		st := &DocStats{
+			Graphs:    len(d.coll),
+			Shards:    len(d.shards),
+			NodeAttrs: map[string]int64{},
+			EdgeAttrs: map[string]int64{},
+		}
+		if len(d.shards) > 0 && d.shards[0].Ix != nil {
+			st.Indexed = true
+		}
+		for _, g := range d.coll {
+			st.Nodes += int64(g.NumNodes())
+			st.Edges += int64(g.NumEdges())
+			for _, n := range g.Nodes() {
+				for _, name := range n.Attrs.Names() {
+					st.NodeAttrs[name]++
+				}
+			}
+			for _, e := range g.Edges() {
+				for _, name := range e.Attrs.Names() {
+					st.EdgeAttrs[name]++
+				}
+			}
+		}
+		d.stats = st
+	})
+	return d.stats
+}

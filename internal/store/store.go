@@ -188,6 +188,12 @@ type Doc struct {
 
 	coll   graph.Collection
 	shards []*Shard
+
+	// statsOnce guards the lazy attribute-inventory computation; the
+	// document itself is immutable after Build, so the computed stats are
+	// valid for the document's lifetime.
+	statsOnce sync.Once
+	stats     *DocStats
 }
 
 // Collection returns the document in canonical order. Callers must treat
