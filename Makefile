@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs bench-store bench-vet check
+.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs bench-store bench-vet bench-match check
 
 all: check
 
@@ -45,7 +45,8 @@ fuzz-smoke:
 	$(GO) test ./internal/graph -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime 5s
 	$(GO) test ./internal/graph -run FuzzReadTSV -fuzz FuzzReadTSV -fuzztime 5s
 	$(GO) test ./internal/sqlbase -run FuzzParseSQL -fuzz FuzzParseSQL -fuzztime 5s
-	$(GO) test ./internal/expr -run FuzzEval -fuzz FuzzEval -fuzztime 10s
+	$(GO) test ./internal/expr -run 'FuzzEval$$' -fuzz 'FuzzEval$$' -fuzztime 10s
+	$(GO) test ./internal/expr -run FuzzCompiledEval -fuzz FuzzCompiledEval -fuzztime 10s
 	$(GO) test ./internal/server -run 'FuzzServerQuery$$' -fuzz 'FuzzServerQuery$$' -fuzztime 10s
 	$(GO) test ./internal/server -run 'FuzzServerQueryV2$$' -fuzz 'FuzzServerQueryV2$$' -fuzztime 10s
 
@@ -64,6 +65,14 @@ bench-obs:
 bench-store:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 1x -benchmem ./internal/store \
 		| $(GO) run ./cmd/benchjson -o BENCH_store.json
+
+## bench-match: match hot-path guard — the plan-cache-hot run must beat
+## the uncached baseline on time and allocations (the cold run pays the
+## Put), and the compiled predicate must beat the tree-walking
+## evaluator; recorded in BENCH_match.json
+bench-match:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatchPlanned|BenchmarkCompiledPredicate' -benchtime 1x -benchmem ./internal/match ./internal/expr \
+		| $(GO) run ./cmd/benchjson -o BENCH_match.json
 
 ## bench-vet: analyzer-suite latency — one full gqlvet pass (parse,
 ## type-check, all eight analyzers) over the driver's fixture module;

@@ -2,8 +2,11 @@
 // committed JSON artifact (BENCH_*.json) so benchmark trajectories live in
 // git history next to the code they measure. It reads the benchmark run
 // from stdin, echoes it through to stdout (the human still sees the run),
-// and writes the parsed document to -o stamped with the git commit and
-// date.
+// and appends the parsed run — stamped with the git commit and date — to
+// the run list in -o. A rerun at the same commit replaces that commit's
+// entry in place instead of duplicating it, so the file holds one run per
+// commit in first-seen order; legacy single-run files (the bare run
+// object, the format before run lists) are migrated on the first append.
 //
 // Exit codes: 0 on success, 1 when the input contains no benchmark lines
 // or reports FAIL, 2 on usage/IO errors.
@@ -33,7 +36,7 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// benchDoc is the emitted artifact.
+// benchDoc is one benchmark run.
 type benchDoc struct {
 	Commit     string        `json:"commit"`
 	Date       string        `json:"date"`
@@ -41,6 +44,48 @@ type benchDoc struct {
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchFile is the emitted artifact: the run trajectory, oldest first, one
+// run per commit.
+type benchFile struct {
+	Runs []benchDoc `json:"runs"`
+}
+
+// loadRuns reads the existing artifact at path, migrating the legacy
+// single-run format (a bare benchDoc object). A missing file is an empty
+// trajectory; anything unreadable or unparsable is an error — the file is
+// a committed artifact, so silently discarding history would be worse
+// than failing the run.
+func loadRuns(path string) ([]benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err == nil && f.Runs != nil {
+		return f.Runs, nil
+	}
+	var legacy benchDoc
+	if err := json.Unmarshal(data, &legacy); err == nil && legacy.Commit != "" {
+		return []benchDoc{legacy}, nil
+	}
+	return nil, fmt.Errorf("%s: not a benchjson artifact", path)
+}
+
+// appendRun adds doc to the trajectory, replacing an existing run with the
+// same commit in place (a rerun supersedes, order is preserved).
+func appendRun(runs []benchDoc, doc benchDoc) []benchDoc {
+	for i := range runs {
+		if runs[i].Commit == doc.Commit {
+			runs[i] = doc
+			return runs
+		}
+	}
+	return append(runs, doc)
 }
 
 var benchLineRE = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
@@ -142,7 +187,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if doc.Date == "" {
 		doc.Date = time.Now().UTC().Format("2006-01-02")
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	runs, err := loadRuns(*outPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	runs = appendRun(runs, doc)
+	data, err := json.MarshalIndent(benchFile{Runs: runs}, "", "  ")
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 2
@@ -151,6 +202,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 2
 	}
-	fmt.Fprintf(stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *outPath)
+	fmt.Fprintf(stderr, "benchjson: wrote %d benchmark(s) to %s (%d run(s))\n", len(results), *outPath, len(runs))
 	return 0
 }

@@ -63,15 +63,112 @@ func TestRunWritesDoc(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading artifact: %v", err)
 	}
-	var doc benchDoc
-	if err := json.Unmarshal(data, &doc); err != nil {
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatalf("unmarshaling artifact: %v", err)
 	}
+	if len(f.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(f.Runs))
+	}
+	doc := f.Runs[0]
 	if doc.Commit != "abc1234" || doc.Date != "2026-01-02" || len(doc.Benchmarks) != 2 {
 		t.Errorf("doc = %+v", doc)
 	}
 	if doc.GoVersion == "" || doc.GOOS == "" || doc.GOARCH == "" {
 		t.Errorf("doc missing environment stamps: %+v", doc)
+	}
+}
+
+// TestRunAppendsTrajectory pins the append-by-commit behavior: a second
+// run at a new commit extends the trajectory, a rerun at an existing
+// commit replaces that entry in place, and order is preserved.
+func TestRunAppendsTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	var stdout, stderr bytes.Buffer
+	read := func() []benchDoc {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading artifact: %v", err)
+		}
+		var f benchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatalf("unmarshaling artifact: %v", err)
+		}
+		return f.Runs
+	}
+	for _, commit := range []string{"aaa1111", "bbb2222"} {
+		if code := run([]string{"-o", path, "-commit", commit, "-date", "2026-01-02"},
+			strings.NewReader(sampleRun), &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%s): exit %d; stderr: %s", commit, code, stderr.String())
+		}
+	}
+	runs := read()
+	if len(runs) != 2 || runs[0].Commit != "aaa1111" || runs[1].Commit != "bbb2222" {
+		t.Fatalf("after two commits: %+v", runs)
+	}
+
+	// Rerun the first commit with different numbers: replaced in place.
+	rerun := strings.ReplaceAll(sampleRun, "12345678 ns/op", "999 ns/op")
+	if code := run([]string{"-o", path, "-commit", "aaa1111", "-date", "2026-01-03"},
+		strings.NewReader(rerun), &stdout, &stderr); code != 0 {
+		t.Fatalf("rerun: exit %d; stderr: %s", code, stderr.String())
+	}
+	runs = read()
+	if len(runs) != 2 {
+		t.Fatalf("rerun duplicated the commit: %+v", runs)
+	}
+	if runs[0].Commit != "aaa1111" || runs[0].Benchmarks[0].NsPerOp != 999 || runs[0].Date != "2026-01-03" {
+		t.Errorf("rerun did not replace in place: %+v", runs[0])
+	}
+	if runs[1].Commit != "bbb2222" {
+		t.Errorf("order not preserved: %+v", runs)
+	}
+}
+
+// TestRunMigratesLegacyArtifact pins the single-object migration: a file
+// in the pre-trajectory format becomes the first run of the list.
+func TestRunMigratesLegacyArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	legacy := `{"commit":"old0001","date":"2025-12-31","go_version":"go1.0","goos":"linux","goarch":"amd64","benchmarks":[{"name":"BenchmarkOld-8","iterations":1,"ns_per_op":1,"bytes_per_op":0,"allocs_per_op":0}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", path, "-commit", "new0002", "-date", "2026-01-02"},
+		strings.NewReader(sampleRun), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("unmarshaling artifact: %v", err)
+	}
+	if len(f.Runs) != 2 || f.Runs[0].Commit != "old0001" || f.Runs[1].Commit != "new0002" {
+		t.Errorf("migration: %+v", f.Runs)
+	}
+	if len(f.Runs[0].Benchmarks) != 1 || f.Runs[0].Benchmarks[0].Name != "BenchmarkOld-8" {
+		t.Errorf("legacy benchmarks lost: %+v", f.Runs[0])
+	}
+}
+
+// TestRunRejectsCorruptArtifact pins that an unparsable existing artifact
+// fails the run instead of being overwritten.
+func TestRunRejectsCorruptArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", path, "-commit", "abc1234"},
+		strings.NewReader(sampleRun), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if data, _ := os.ReadFile(path); string(data) != "not json" {
+		t.Errorf("corrupt artifact was overwritten: %q", data)
 	}
 }
 

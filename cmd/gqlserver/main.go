@@ -55,6 +55,7 @@ import (
 	"gqldb/internal/ast"
 	"gqldb/internal/exec"
 	"gqldb/internal/graph"
+	"gqldb/internal/match"
 	"gqldb/internal/obs"
 	"gqldb/internal/parser"
 	"gqldb/internal/server"
@@ -89,6 +90,7 @@ func main() {
 	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables; e.g. 100ms)")
 	shards := flag.Int("shards", 1, "hash partitions per document; >1 fans selection across shards")
 	cache := flag.Int("cache", 0, "result cache capacity in entries (0 disables caching)")
+	planCache := flag.Int("plan-cache", 0, "search-plan cache capacity in entries (0 disables plan caching)")
 	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables; 3 is a good default for many small graphs)")
 	flushInterval := flag.Duration("flush-interval", 100*time.Millisecond, "flush pacing for streamed v2 responses (negative flushes every row)")
 	maxTake := flag.Int("max-take", 0, "cap on rows one v2 request may take (0 = uncapped); capped requests get a next_skip cursor")
@@ -97,6 +99,9 @@ func main() {
 	eng := exec.NewOver(store.New(store.Options{Shards: *shards, IndexMaxLen: *indexLen}))
 	if *cache > 0 {
 		eng.Cache = store.NewCache(*cache)
+	}
+	if *planCache > 0 {
+		eng.Plans = match.NewPlanCache(*planCache)
 	}
 	eng.Workers = *workers
 	eng.SlowQuery = *slow

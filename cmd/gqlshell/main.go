@@ -43,6 +43,7 @@ import (
 	"gqldb/internal/ast"
 	"gqldb/internal/exec"
 	"gqldb/internal/graph"
+	"gqldb/internal/match"
 	"gqldb/internal/obs"
 	"gqldb/internal/parser"
 	"gqldb/internal/stats"
@@ -72,6 +73,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump process metrics (Prometheus text format) after the run")
 	shards := flag.Int("shards", 1, "hash partitions per document; >1 fans selection across shards")
 	cache := flag.Int("cache", 0, "result cache capacity in entries (0 disables; single-shot runs rarely benefit)")
+	planCache := flag.Int("plan-cache", 0, "search-plan cache capacity in entries (0 disables; pays off when one program repeats a pattern)")
 	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables)")
 	flag.Parse()
 
@@ -100,6 +102,9 @@ func main() {
 	e := exec.NewOver(ds)
 	if *cache > 0 {
 		e.Cache = store.NewCache(*cache)
+	}
+	if *planCache > 0 {
+		e.Plans = match.NewPlanCache(*planCache)
 	}
 	e.Workers = *workers
 	e.SlowQuery = *slow
@@ -212,6 +217,32 @@ func renderTrace(w io.Writer, res *exec.StreamResult) {
 	})
 	if len(sel.Rows) > 0 {
 		fmt.Fprint(w, sel.Format())
+	}
+
+	// Plan-cache effectiveness, when plan caching ran: per-selection hit and
+	// miss counts against the engine's plan cache.
+	pc := &stats.Table{
+		Title:   "// plan cache",
+		Headers: []string{"pattern", "hits", "misses"},
+	}
+	res.Trace.Walk(func(_ int, sp *obs.Span) {
+		if sp.Name != "selection" {
+			return
+		}
+		hits, misses := sp.Count("plan_cache_hits"), sp.Count("plan_cache_misses")
+		if hits == 0 && misses == 0 {
+			return
+		}
+		name := "?"
+		for _, a := range sp.Attrs() {
+			if a.Key == "pattern" {
+				name = a.Val
+			}
+		}
+		pc.AddRow(name, fmt.Sprint(hits), fmt.Sprint(misses))
+	})
+	if len(pc.Rows) > 0 {
+		fmt.Fprint(w, pc.Format())
 	}
 }
 

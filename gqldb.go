@@ -124,6 +124,14 @@ type (
 	// CacheStats is a ResultCache counter snapshot (hits, misses,
 	// evictions, invalidations, entries).
 	CacheStats = store.CacheStats
+	// PlanCache is the LRU search-plan cache keyed on (pattern shape,
+	// graph, planning options), invalidated by store-version bump; set it
+	// on Engine.Plans so repeated patterns over unchanged documents skip
+	// retrieval, refinement and search-order planning.
+	PlanCache = match.PlanCache
+	// PlanCacheStats is a PlanCache counter snapshot (hits, misses,
+	// evictions, invalidations, entries).
+	PlanCacheStats = match.PlanCacheStats
 	// ShardSelector evaluates selection over one store shard — the seam a
 	// multi-process deployment implements with an RPC shard client.
 	ShardSelector = store.ShardSelector
@@ -532,6 +540,10 @@ func NewDocStore(opts StoreOptions) *DocStore { return store.New(opts) }
 // NewResultCache returns an LRU whole-program result cache holding at most
 // capacity entries; assign it to Engine.Cache.
 func NewResultCache(capacity int) *ResultCache { return store.NewCache(capacity) }
+
+// NewPlanCache returns an LRU search-plan cache holding at most capacity
+// plans; assign it to Engine.Plans.
+func NewPlanCache(capacity int) *PlanCache { return match.NewPlanCache(capacity) }
 
 // ParseGraph parses a single graph literal in the language syntax
 // (`graph G { node v1 <label="A">; ... };`).

@@ -78,9 +78,20 @@ func SelectionContext(ctx context.Context, p *pattern.Pattern, c graph.Collectio
 			sp.Add("cand_refined", sumInts(st.CandRefined))
 			sp.Add("search_steps", st.SearchSteps)
 			sp.Add("matches", int64(len(maps)))
+			if st.PlanCacheHit {
+				sp.Add("plan_cache_hits", 1)
+			} else if opt.Plans != nil {
+				sp.Add("plan_cache_misses", 1)
+			}
 		}
-		for _, m := range maps {
-			slots[i] = append(slots[i], &MatchedGraph{P: p, G: g, M: m})
+		if len(maps) > 0 {
+			// One batch allocation per graph instead of one per match; the
+			// slot header append stays per-match but reuses slot capacity.
+			mgs := make([]MatchedGraph, len(maps))
+			for j, m := range maps {
+				mgs[j] = MatchedGraph{P: p, G: g, M: m}
+				slots[i] = append(slots[i], &mgs[j])
+			}
 		}
 		return nil
 	})

@@ -22,6 +22,10 @@ var aliasReturns = map[string]bool{
 	// pointer (and its attribute maps) to every caller — the /v2/schema
 	// handler must render it without writing through it.
 	"internal/store.Doc.Stats": true,
+	// PlanCache.Get hands out one cached *Plan to every concurrent search
+	// over the same (pattern shape, graph, options): the feasible-mate
+	// lists and order are shared, searchers copy what they mutate.
+	"internal/match.PlanCache.Get": true,
 }
 
 // AliasGuard flags mutations of values obtained from the registered

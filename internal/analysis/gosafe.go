@@ -27,6 +27,9 @@ var unsafeInGoroutine = map[string]map[string]bool{
 	// SetCapacity resizes the LRU without taking the cache lock; it is a
 	// startup-only call by contract, before any querying goroutine exists.
 	"internal/store.Cache": {"SetCapacity": true},
+	// Same contract for the search-plan cache: Get/Put are locked and
+	// worker-safe, SetCapacity is startup-only.
+	"internal/match.PlanCache": {"SetCapacity": true},
 	// The streaming pipeline's sinks and emitters mutate receiver state
 	// (row buffers, ordinals, flush clocks) without locks: Emit runs on the
 	// query's coordinating goroutine by contract, never from pool workers.

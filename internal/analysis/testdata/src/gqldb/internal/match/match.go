@@ -290,3 +290,67 @@ func (s *searcher) drill(i int) { // want:recbound `recursive function drill`
 		s.drill(i + 1)
 	}
 }
+
+// ---- plan cache (gosafe + aliasguard registries) ----
+
+// Plan mimics the cached planning output: shared, read-only after Put.
+type Plan struct {
+	Order   []int
+	EstCost float64
+}
+
+// PlanCache mimics the search-plan cache; Get hands out shared plans and
+// SetCapacity is the startup-only unsynchronized mutator.
+type PlanCache struct {
+	capacity int
+	plans    map[string]*Plan
+}
+
+// SetCapacity resizes the bound without locking.
+func (c *PlanCache) SetCapacity(n int) { c.capacity = n }
+
+// Get returns the shared plan for key.
+func (c *PlanCache) Get(key string) (*Plan, bool) {
+	p, ok := c.plans[key]
+	return p, ok
+}
+
+// ResizeInWorker calls the startup-only mutator from a goroutine: flagged.
+func ResizeInWorker(c *PlanCache) {
+	ch := make(chan struct{})
+	go func() {
+		c.SetCapacity(8) // want:gosafe `non-thread-safe internal/match.PlanCache.SetCapacity`
+		close(ch)
+	}()
+	<-ch
+}
+
+// ResizeAtStartup calls it before any worker exists: allowed.
+func ResizeAtStartup(c *PlanCache) {
+	c.SetCapacity(8)
+}
+
+// scribblePlan writes through the shared cached plan — every concurrent
+// search holding it sees the corruption: flagged.
+func scribblePlan(c *PlanCache) {
+	pl, ok := c.Get("shape")
+	if !ok {
+		return
+	}
+	pl.Order[0] = 1 // want:aliasguard `element write`
+	pl.EstCost = 0  // want:aliasguard `field write`
+}
+
+// adoptPlan copies the mutable parts out first — the sanctioned shape the
+// real searcher uses: allowed.
+func adoptPlan(c *PlanCache) []int {
+	pl, ok := c.Get("shape")
+	if !ok {
+		return nil
+	}
+	order := make([]int, len(pl.Order))
+	copy(order, pl.Order)
+	return order
+}
+
+var _ = []any{ResizeInWorker, ResizeAtStartup, scribblePlan, adoptPlan}

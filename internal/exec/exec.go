@@ -54,6 +54,11 @@ type Engine struct {
 	Selector store.ShardSelector
 	// Opts configures selection; Exhaustive is overridden per FLWR clause.
 	Opts match.Options
+	// Plans, when set, caches search plans across queries: selection wires
+	// it into match.Options with the snapshot version as the validity
+	// fence, so repeated patterns over unchanged documents skip retrieval,
+	// refinement and ordering. Shared safely by concurrent requests.
+	Plans *match.PlanCache
 	// IxFor optionally supplies per-graph access structures.
 	IxFor func(*graph.Graph) *match.Index
 	// CollIndex optionally supplies a path-feature index per document
@@ -448,6 +453,10 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 	csp.Add("patterns", int64(len(pats)))
 	opts := env.engine.Opts
 	opts.Exhaustive = f.Exhaustive
+	if env.engine.Plans != nil {
+		opts.Plans = env.engine.Plans
+		opts.PlanEpoch = env.snap.Version()
+	}
 
 	var tmplDecl *ast.TemplateDecl
 	if f.Return != nil {

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/parser"
+	"gqldb/internal/store"
+)
+
+// TestPlanCacheGridDeterminism runs the stress query with a shared plan
+// cache across every shard × worker combination, twice each (cold plan,
+// then cached plan), and requires byte-identical output to the uncached
+// serial baseline every time.
+func TestPlanCacheGridDeterminism(t *testing.T) {
+	coll := stressStore(60)["db"]
+	prog, err := parser.Parse(stressQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(Store{"db": coll}).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Out) == 0 {
+		t.Fatal("degenerate test: no matches")
+	}
+
+	for _, shards := range []int{1, 4, 17} {
+		for _, workers := range []int{1, 16} {
+			ds := store.New(store.Options{Shards: shards})
+			ds.RegisterDoc("db", coll)
+			e := NewOver(ds)
+			e.Workers = workers
+			// One plan per (pattern, graph): capacity must cover the
+			// collection for the second run to hit on every member.
+			e.Plans = match.NewPlanCache(2 * len(coll))
+			for run := 0; run < 2; run++ {
+				got, err := e.RunContext(context.Background(), prog)
+				if err != nil {
+					t.Fatalf("shards=%d workers=%d run=%d: %v", shards, workers, run, err)
+				}
+				if len(got.Out) != len(want.Out) {
+					t.Fatalf("shards=%d workers=%d run=%d: %d results, want %d",
+						shards, workers, run, len(got.Out), len(want.Out))
+				}
+				for i := range want.Out {
+					if got.Out[i].Signature() != want.Out[i].Signature() {
+						t.Fatalf("shards=%d workers=%d run=%d: output differs at %d",
+							shards, workers, run, i)
+					}
+				}
+			}
+			st := e.Plans.Stats()
+			if st.Hits == 0 {
+				t.Errorf("shards=%d workers=%d: second run never hit the plan cache (%+v)",
+					shards, workers, st)
+			}
+		}
+	}
+}
+
+// TestPlanCacheInvalidation pins the validity fence end-to-end: plans
+// cached against one store version must never shape results after a
+// RegisterDoc bump — the post-mutation query agrees byte-for-byte with a
+// fresh uncached engine over the new data.
+func TestPlanCacheInvalidation(t *testing.T) {
+	mk := func(label string) graph.Collection {
+		g := graph.New("G")
+		a := g.AddNode("a", graph.TupleOf("", "label", "A"))
+		b := g.AddNode("b", graph.TupleOf("", "label", label))
+		g.AddEdge("", a, b, nil)
+		return graph.NewCollection(g)
+	}
+	prog, err := parser.Parse(stressQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := store.New(store.Options{Shards: 4})
+	ds.RegisterDoc("db", mk("B"))
+	e := NewOver(ds)
+	e.Plans = match.NewPlanCache(16)
+
+	res1, err := e.RunContext(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Out) != 1 {
+		t.Fatalf("pre-mutation: %d results, want 1", len(res1.Out))
+	}
+	// Warm the cache, then mutate: B disappears, so the cached plan's
+	// feasible mates are stale — a reused plan would still find a match.
+	if _, err := e.RunContext(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	ds.RegisterDoc("db", mk("C"))
+	res2, err := e.RunContext(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Out) != 0 {
+		t.Fatalf("post-mutation: %d results, want 0 (stale plan reused?)", len(res2.Out))
+	}
+	if st := e.Plans.Stats(); st.Invalidations == 0 {
+		t.Errorf("no invalidation recorded across the version bump: %+v", st)
+	}
+	// And mutating back re-plans against the new graphs, not the originals.
+	ds.RegisterDoc("db", mk("B"))
+	res3, err := e.RunContext(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewOver(ds).RunContext(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Out) != len(fresh.Out) {
+		t.Fatalf("cached engine: %d results, fresh engine: %d", len(res3.Out), len(fresh.Out))
+	}
+	for i := range fresh.Out {
+		if res3.Out[i].Signature() != fresh.Out[i].Signature() {
+			t.Fatalf("cached engine differs from fresh at %d", i)
+		}
+	}
+}

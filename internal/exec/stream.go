@@ -483,9 +483,20 @@ func (env *environment) streamSelect(ctx context.Context, p *pattern.Pattern, c 
 				sp.Add("cand_refined", sumCounts(mst.CandRefined))
 				sp.Add("search_steps", mst.SearchSteps)
 				sp.Add("matches", int64(len(maps)))
+				if mst.PlanCacheHit {
+					sp.Add("plan_cache_hits", 1)
+				} else if opts.Plans != nil {
+					sp.Add("plan_cache_misses", 1)
+				}
 			}
-			for _, m := range maps {
-				slots[i] = append(slots[i], &algebra.MatchedGraph{P: p, G: g, M: m})
+			if len(maps) > 0 {
+				// One batch allocation per graph instead of one per match, as
+				// in algebra.SelectionContext.
+				mgs := make([]algebra.MatchedGraph, len(maps))
+				for j, m := range maps {
+					mgs[j] = algebra.MatchedGraph{P: p, G: g, M: m}
+					slots[i] = append(slots[i], &mgs[j])
+				}
 			}
 			return nil
 		})

@@ -1,0 +1,252 @@
+// Predicate compilation: Compile lowers an Expr tree into a chain of
+// closures evaluated without per-call tree dispatch. The lowering runs
+// once per pattern compilation; the closures then run once per candidate
+// in the Algorithm 4.1 inner loop, so the work moved out of them —
+// operator switches, interface dispatch on subtrees, constant subtree
+// evaluation — is paid once instead of per candidate.
+//
+// The compiled form is semantically identical to Expr.Eval (the
+// FuzzCompiledEval harness holds the two implementations against each
+// other on arbitrary expressions and environments):
+//
+//   - constant folding: a name-free subtree whose evaluation succeeds is
+//     collapsed to its value at compile time; subtrees whose evaluation
+//     errors (division by zero) are kept so the runtime error is preserved;
+//   - short-circuit specialization: AND/OR with a constant left side
+//     compile to either a constant or the bare truthiness of the right
+//     side; the general forms evaluate the right side only when the left
+//     does not decide;
+//   - per-operator closures: each comparison and arithmetic operator gets
+//     its own closure, so no operator switch runs per evaluation.
+//
+// Compiled closures perform no allocations of their own; whether a full
+// evaluation allocates is then determined solely by the Env and the value
+// operations (string concatenation in Arith allocates, comparisons do not).
+package expr
+
+import "gqldb/internal/graph"
+
+// Compiled is the closure form of an expression: a function computing the
+// expression's value under an Env, as Expr.Eval would.
+type Compiled func(Env) (graph.Value, error)
+
+// Pred is the closure form of a boolean predicate: it computes the
+// truthiness of the underlying expression. A nil Pred holds trivially,
+// mirroring Holds on a nil Expr.
+type Pred func(Env) (bool, error)
+
+// Compile lowers e into its closure form. A nil expression compiles to a
+// constant Null (the value Eval would never be asked for; kept total so
+// callers need no nil check). Expression types outside this package's
+// vocabulary fall back to their own Eval method.
+func Compile(e Expr) Compiled {
+	switch x := e.(type) {
+	case nil:
+		return constClosure(graph.Null)
+	case Lit:
+		return constClosure(x.Val)
+	case Name:
+		parts := x.Parts
+		return func(env Env) (graph.Value, error) { return env.Resolve(parts) }
+	case Binary:
+		return compileBinary(x)
+	default:
+		return e.Eval
+	}
+}
+
+// CompilePred compiles e as a boolean predicate; nil yields a nil Pred
+// (trivially true), matching Holds.
+func CompilePred(e Expr) Pred {
+	if e == nil {
+		return nil
+	}
+	c := Compile(e)
+	return func(env Env) (bool, error) {
+		v, err := c(env)
+		if err != nil {
+			return false, err
+		}
+		return v.Truthy(), nil
+	}
+}
+
+// constClosure returns a closure yielding a fixed value.
+func constClosure(v graph.Value) Compiled {
+	return func(Env) (graph.Value, error) { return v, nil }
+}
+
+// constOf evaluates e at compile time when it is name-free and evaluates
+// without error. Erroring constants (1/0) are not folded: the runtime
+// error must be observable exactly where Eval would raise it.
+func constOf(e Expr) (graph.Value, bool) {
+	if e == nil || len(Names(e)) != 0 {
+		return graph.Null, false
+	}
+	v, err := e.Eval(MapEnv{})
+	if err != nil {
+		return graph.Null, false
+	}
+	return v, true
+}
+
+// truthiness wraps a compiled operand as its boolean value — the result
+// shape of AND/OR.
+func truthiness(c Compiled) Compiled {
+	return func(env Env) (graph.Value, error) {
+		v, err := c(env)
+		if err != nil {
+			return graph.Null, err
+		}
+		return graph.Bool(v.Truthy()), nil
+	}
+}
+
+func compileBinary(b Binary) Compiled {
+	if v, ok := constOf(b); ok {
+		return constClosure(v)
+	}
+	switch b.Op {
+	case OpAnd:
+		cr := Compile(b.R)
+		if lv, ok := constOf(b.L); ok {
+			if !lv.Truthy() {
+				// Eval's short-circuit: the right side never runs, so its
+				// names and errors are unobservable.
+				return constClosure(graph.Bool(false))
+			}
+			return truthiness(cr)
+		}
+		cl := Compile(b.L)
+		return func(env Env) (graph.Value, error) {
+			l, err := cl(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			if !l.Truthy() {
+				return graph.Bool(false), nil
+			}
+			r, err := cr(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			return graph.Bool(r.Truthy()), nil
+		}
+	case OpOr:
+		cr := Compile(b.R)
+		if lv, ok := constOf(b.L); ok {
+			if lv.Truthy() {
+				return constClosure(graph.Bool(true))
+			}
+			return truthiness(cr)
+		}
+		cl := Compile(b.L)
+		return func(env Env) (graph.Value, error) {
+			l, err := cl(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			if l.Truthy() {
+				return graph.Bool(true), nil
+			}
+			r, err := cr(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			return graph.Bool(r.Truthy()), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv:
+		op := arithByte(b.Op)
+		cl, cr := Compile(b.L), Compile(b.R)
+		return func(env Env) (graph.Value, error) {
+			l, err := cl(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			r, err := cr(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			return graph.Arith(op, l, r)
+		}
+	case OpEq:
+		return compileCompare(b, func(c int) bool { return c == 0 }, false)
+	case OpNe:
+		return compileCompare(b, func(c int) bool { return c != 0 }, true)
+	case OpGt:
+		return compileCompare(b, func(c int) bool { return c > 0 }, false)
+	case OpGe:
+		return compileCompare(b, func(c int) bool { return c >= 0 }, false)
+	case OpLt:
+		return compileCompare(b, func(c int) bool { return c < 0 }, false)
+	case OpLe:
+		return compileCompare(b, func(c int) bool { return c <= 0 }, false)
+	default:
+		// Unknown operator: defer to Eval, which reports it as an error.
+		return b.Eval
+	}
+}
+
+func arithByte(op Op) byte {
+	switch op {
+	case OpAdd:
+		return '+'
+	case OpSub:
+		return '-'
+	case OpMul:
+		return '*'
+	default:
+		return '/'
+	}
+}
+
+// compileCompare builds a comparison closure. incomparable is the result
+// when the two values do not compare (Eval's rule: != holds, every other
+// comparison is false). A constant side is captured as a value so the
+// common `name == literal` shape evaluates one operand per call.
+func compileCompare(b Binary, rel func(int) bool, incomparable bool) Compiled {
+	if rv, ok := constOf(b.R); ok {
+		cl := Compile(b.L)
+		return func(env Env) (graph.Value, error) {
+			l, err := cl(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			c, err := l.Compare(rv)
+			if err != nil {
+				return graph.Bool(incomparable), nil
+			}
+			return graph.Bool(rel(c)), nil
+		}
+	}
+	if lv, ok := constOf(b.L); ok {
+		cr := Compile(b.R)
+		return func(env Env) (graph.Value, error) {
+			r, err := cr(env)
+			if err != nil {
+				return graph.Null, err
+			}
+			c, err := lv.Compare(r)
+			if err != nil {
+				return graph.Bool(incomparable), nil
+			}
+			return graph.Bool(rel(c)), nil
+		}
+	}
+	cl, cr := Compile(b.L), Compile(b.R)
+	return func(env Env) (graph.Value, error) {
+		l, err := cl(env)
+		if err != nil {
+			return graph.Null, err
+		}
+		r, err := cr(env)
+		if err != nil {
+			return graph.Null, err
+		}
+		c, err := l.Compare(r)
+		if err != nil {
+			return graph.Bool(incomparable), nil
+		}
+		return graph.Bool(rel(c)), nil
+	}
+}

@@ -3,6 +3,17 @@
 // combinations of literals and qualified names such as P.v1.name. An
 // expression is evaluated against an Env that resolves names to attribute
 // values of bound nodes, edges or graphs.
+//
+// Env error semantics: a missing attribute of a known variable resolves to
+// Null without error (heterogeneous graphs simply fail to match), but an
+// unknown variable root is an error — a typo in a template parameter or
+// predicate must surface instead of silently matching nothing. MapEnv
+// implements exactly this contract.
+//
+// Expressions can be evaluated two ways: Expr.Eval tree-walks the node
+// structure, and Compile lowers the tree once into a closure chain
+// (constant-folded, short-circuit specialized) that evaluates without any
+// per-call tree dispatch — the form the match hot path uses per candidate.
 package expr
 
 import (
@@ -173,15 +184,27 @@ func And(es ...Expr) Expr {
 }
 
 // Conjuncts flattens nested AND nodes into a list; a nil expression yields
-// nil. Used to push per-node predicates down into the pattern (§4.1).
+// nil. Used to push per-node predicates down into the pattern (§4.1). The
+// walk appends into one accumulator (linear in the conjunct count, not the
+// quadratic left-deep copy of the naive recursive append), and the returned
+// slice is freshly allocated on every call — callers may grow or reorder it
+// without affecting other callers.
 func Conjuncts(e Expr) []Expr {
 	if e == nil {
 		return nil
 	}
-	if b, ok := e.(Binary); ok && b.Op == OpAnd {
-		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	var out []Expr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(Binary); ok && b.Op == OpAnd {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		out = append(out, e)
 	}
-	return []Expr{e}
+	walk(e)
+	return out
 }
 
 // Names returns every qualified name occurring in e, in source order.
@@ -223,11 +246,25 @@ func Rewrite(e Expr, fn func(Name) Name) Expr {
 // in tests and for template parameters.
 type MapEnv map[string]graph.Value
 
-// Resolve implements Env.
+// Resolve implements Env under the documented contract: an exact key hit
+// returns its value; a miss under a variable root the map knows (the root
+// appears as a key or as a dotted prefix of one) is a missing attribute and
+// resolves to Null; a miss under an unknown root is an error, so a typo'd
+// template parameter fails loudly instead of silently matching nothing.
 func (m MapEnv) Resolve(parts []string) (graph.Value, error) {
+	if len(parts) == 0 {
+		return graph.Null, fmt.Errorf("expr: empty qualified name")
+	}
 	key := strings.Join(parts, ".")
 	if v, ok := m[key]; ok {
 		return v, nil
 	}
-	return graph.Null, nil
+	root := parts[0]
+	prefix := root + "."
+	for k := range m {
+		if k == root || strings.HasPrefix(k, prefix) {
+			return graph.Null, nil
+		}
+	}
+	return graph.Null, fmt.Errorf("expr: unknown variable %q", root)
 }

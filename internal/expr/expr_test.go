@@ -65,8 +65,8 @@ func TestComparisons(t *testing.T) {
 		{bin(OpEq, name("x"), lit("10")), false},
 		{bin(OpNe, name("x"), lit("10")), true},
 		{bin(OpGt, name("x"), lit("10")), false},
-		// Null (missing) never equals anything.
-		{bin(OpEq, name("nope"), lit(0)), false},
+		// Null (missing attribute of a known variable) never equals anything.
+		{bin(OpEq, name("x", "nope"), lit(0)), false},
 	}
 	for _, c := range cases {
 		got := evalOK(t, c.e, env)

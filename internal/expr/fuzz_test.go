@@ -39,7 +39,8 @@ func FuzzEval(f *testing.F) {
 
 		// Bind every name the expression mentions to a fuzzer-chosen value,
 		// cycling through the kinds so comparisons and arithmetic see every
-		// mix; unbound lookups resolve to Null by MapEnv's contract.
+		// mix. Every root is bound: MapEnv errors on unknown variable roots
+		// (only missing attributes of known variables resolve to Null).
 		env := expr.MapEnv{}
 		vals := []graph.Value{graph.String(sval), graph.Int(ival), graph.Float(fval), graph.Bool(bval), graph.Null}
 		for i, parts := range expr.Names(e) {
@@ -75,6 +76,60 @@ func FuzzEval(f *testing.F) {
 		}
 		if err1 == nil && h != v1.Truthy() {
 			t.Fatalf("Holds = %v, Eval truthiness = %v", h, v1.Truthy())
+		}
+	})
+}
+
+// FuzzCompiledEval fuzzes the closure compiler against the tree-walking
+// evaluator: for any parseable expression and any environment — including
+// ones where some variable roots are UNBOUND, so resolution errors flow
+// through both paths — Compile(e)(env) must agree with e.Eval(env) on the
+// value and on error presence, and CompilePred must agree with Holds.
+// Boolean short-circuit makes exact error identity unobservable in
+// general (a folded constant right side never runs), but whether an
+// evaluation errors at all is part of the semantics and must survive
+// compilation.
+func FuzzCompiledEval(f *testing.F) {
+	f.Add(`a.name = "x" & b.year > 2000`, "x", int64(2001), 1.5, true)
+	f.Add(`x + y * 2 - z / 0`, "", int64(7), 0.0, false)
+	f.Add(`(n.a + n.b) / (n.a - n.b) >= n.c | n.flag`, "s", int64(-9223372036854775808), -1.0, true)
+	f.Add(`1 = 1 & nope.x > 0`, "", int64(0), 0.0, false)
+	f.Add(`false & boom.y = 1 | true`, "t", int64(5), 2.0, true)
+	f.Add(`v1.name = "A" & v2.year / v1.year > 1`, "A", int64(1999), 3.5, true)
+
+	f.Fuzz(func(t *testing.T, src, sval string, ival int64, fval float64, bval bool) {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			return
+		}
+
+		// Bind only every other name: the unbound roots make MapEnv error,
+		// exercising the compiled error paths (including short-circuits that
+		// skip them).
+		env := expr.MapEnv{}
+		vals := []graph.Value{graph.String(sval), graph.Int(ival), graph.Float(fval), graph.Bool(bval), graph.Null}
+		for i, parts := range expr.Names(e) {
+			if i%2 == 0 {
+				env[strings.Join(parts, ".")] = vals[i%len(vals)]
+			}
+		}
+
+		want, werr := e.Eval(env)
+		got, gerr := expr.Compile(e)(env)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("compiled error disagrees with Eval: %v vs %v (src %q)", gerr, werr, e)
+		}
+		if werr == nil && want.String() != got.String() {
+			t.Fatalf("compiled = %s, Eval = %s (src %q)", got, want, e)
+		}
+
+		wantH, wherr := expr.Holds(e, env)
+		gotH, gherr := expr.CompilePred(e)(env)
+		if (wherr == nil) != (gherr == nil) {
+			t.Fatalf("compiled pred error disagrees with Holds: %v vs %v (src %q)", gherr, wherr, e)
+		}
+		if wherr == nil && wantH != gotH {
+			t.Fatalf("compiled pred = %v, Holds = %v (src %q)", gotH, wantH, e)
 		}
 	})
 }

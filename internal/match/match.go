@@ -78,6 +78,16 @@ type Options struct {
 	AdjIterate bool
 	// CollectStats fills the per-phase instrumentation in Stats.
 	CollectStats bool
+	// Plans, when non-nil, caches the §4.4 planning output (feasible
+	// mates, search order, cost estimates) across evaluations: a repeated
+	// query over an unchanged graph skips retrieval, refinement and
+	// ordering entirely. See PlanCache for the validity contract.
+	Plans *PlanCache
+	// PlanEpoch is the statistics-validity fence for plan-cache entries —
+	// the store version of the snapshot the graph came from. It must move
+	// forward whenever the underlying data changes; the exec layer wires
+	// it to the snapshot version automatically.
+	PlanEpoch uint64
 }
 
 // Optimized is the paper's recommended combination (§5.2): retrieval by
@@ -132,6 +142,10 @@ type Stats struct {
 	Order []graph.NodeID
 	// EstCost is the planner's estimated cost of the chosen order.
 	EstCost float64
+	// PlanCacheHit reports that the evaluation reused a cached plan
+	// (Options.Plans) instead of retrieving, refining and ordering; the
+	// corresponding phase times are zero.
+	PlanCacheHit bool
 	// CancelChecks counts context-cancellation polls performed by the
 	// evaluation (one per backtracking step when a cancellable context is
 	// supplied via FindContext).

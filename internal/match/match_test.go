@@ -377,7 +377,7 @@ func referenceMatch(t *testing.T, p *pattern.Pattern, g *graph.Graph) int {
 					return
 				}
 			}
-			ok, _ := expr.Holds(p.Global, bindEnv{p: p, g: g, nodes: assign, edges: edges})
+			ok, _ := expr.Holds(p.Global, &bindEnv{p: p, g: g, nodes: assign, edges: edges})
 			if ok {
 				count++
 			}

@@ -1,0 +1,278 @@
+package match
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/obs"
+	"gqldb/internal/pattern"
+)
+
+// This file implements the plan cache: the §4.4 cost model plans a search
+// order (and, before that, retrieves and refines the feasible-mate lists)
+// from scratch on every Find, yet a production frontend sends millions of
+// structurally identical queries. The cache memoizes the complete planning
+// output — feasible mates after local pruning and refinement, the chosen
+// search order, and the candidate-count statistics — keyed on the canonical
+// pattern shape, the data graph, and the planning-relevant options.
+//
+// Validity is statistics-fenced exactly like the result cache in
+// internal/store: the cache holds plans for a single epoch (the store
+// version of the snapshot the graphs came from), and any access carrying a
+// newer epoch purges everything older. Within one epoch the store's
+// copy-on-write discipline guarantees graphs are immutable, so a plan
+// computed once is valid for every later identical query. Callers outside
+// the store (direct Find users) must bump the epoch themselves whenever a
+// graph mutates; a constant epoch is only sound over immutable graphs.
+
+// Plan is one cached planning result. Plans are shared across concurrent
+// searches and are immutable after Put: no holder may write through any of
+// these slices (the aliasguard analyzer enforces this for PlanCache.Get
+// results). Searchers copy the fields they need to mutate.
+type Plan struct {
+	// Phi[u] is the feasible-mate list of pattern node u after local
+	// pruning and (when enabled) Algorithm 4.2 refinement.
+	Phi [][]graph.NodeID
+	// Order is the search order chosen by the planner; EstCost its
+	// estimated cost.
+	Order   []graph.NodeID
+	EstCost float64
+	// Candidate-count statistics captured at plan time (Definition 4.9).
+	CandBaseline []int
+	CandLocal    []int
+	CandRefined  []int
+}
+
+// PlanOpts is the subset of Options that changes planning output: the
+// pruning and refinement configuration determines the feasible-mate lists,
+// the order mode and γ configuration determine the search order, and the
+// presence of access structures determines the retrieval path.
+type PlanOpts struct {
+	Prune       LocalPrune
+	Refine      bool
+	RefineLevel int
+	Order       OrderMode
+	Gamma       float64
+	FreqGamma   bool
+	// Labels and Nbr record which access structures the evaluation had
+	// (label index, neighborhood structures): retrieval differs with and
+	// without them.
+	Labels bool
+	Nbr    bool
+}
+
+// PlanKey identifies one cached plan: the canonical pattern shape, the
+// data graph it was planned against, and the planning options. The graph
+// enters by identity — the key holds the pointer, which also keeps the
+// graph alive until the epoch fence purges the entry.
+type PlanKey struct {
+	Shape string
+	Graph *graph.Graph
+	Opts  PlanOpts
+}
+
+// planKeyFor builds the cache key for one evaluation.
+func planKeyFor(p *pattern.Pattern, g *graph.Graph, ix *Index, opt Options) PlanKey {
+	return PlanKey{
+		Shape: PatternShape(p),
+		Graph: g,
+		Opts: PlanOpts{
+			Prune:       opt.Prune,
+			Refine:      opt.Refine,
+			RefineLevel: opt.RefineLevel,
+			Order:       opt.Order,
+			Gamma:       opt.Gamma,
+			FreqGamma:   opt.FreqGamma,
+			Labels:      ix != nil && ix.Labels != nil,
+			Nbr:         ix != nil && ix.Nbr != nil,
+		},
+	}
+}
+
+// PatternShape renders the canonical planning shape of a compiled pattern:
+// motif direction, per-node tag and predicate (which subsumes constant
+// label constraints — they are `label == "X"` conjuncts), edge wiring with
+// per-edge predicates, and the residual global predicate. Patterns that
+// differ only in formatting or construction order of their source text
+// share a shape; anything that could change feasible mates or the cost
+// model changes it. The pattern must be compiled (Pattern.Compile pushes
+// the predicates down that the shape reads); Find compiles before keying.
+func PatternShape(p *pattern.Pattern) string {
+	var b strings.Builder
+	if p.Motif.Directed {
+		b.WriteString("D")
+	} else {
+		b.WriteString("U")
+	}
+	for _, n := range p.Motif.Nodes() {
+		b.WriteString("\x00n")
+		b.WriteString(p.NodeTag[n.ID])
+		b.WriteByte('\x01')
+		if e := p.NodePred[n.ID]; e != nil {
+			b.WriteString(e.String())
+		}
+	}
+	for _, e := range p.Motif.Edges() {
+		fmt.Fprintf(&b, "\x00e%d>%d\x01", e.From, e.To)
+		if x := p.EdgePred[e.ID]; x != nil {
+			b.WriteString(x.String())
+		}
+	}
+	if p.Global != nil {
+		b.WriteString("\x00g")
+		b.WriteString(p.Global.String())
+	}
+	return b.String()
+}
+
+// PlanCacheStats is one plan cache's counter snapshot (process-wide
+// equivalents live in internal/obs; these are per-cache, for /healthz).
+type PlanCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Capacity      int   `json:"capacity"`
+}
+
+// PlanCache is an LRU cache of search plans with invalidation-by-epoch: it
+// holds entries for exactly one statistics epoch at a time (the newest it
+// has seen), so an epoch bump — the store version moving forward —
+// implicitly purges every older plan on the next access. Get and Put are
+// safe for concurrent use; one cache is shared by every worker of every
+// selection fan-out.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	epoch    uint64
+	order    *list.List // front = most recent; values are *planEntry
+	entries  map[PlanKey]*list.Element
+
+	hits, misses, evictions, invalidations int64
+}
+
+type planEntry struct {
+	key  PlanKey
+	plan *Plan
+}
+
+// NewPlanCache returns a cache holding at most capacity plans (min 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[PlanKey]*list.Element),
+	}
+}
+
+// SetCapacity resizes the cache bound. Startup-only: not synchronized
+// against concurrent Get/Put (enforced by gqlvet's gosafe table).
+func (c *PlanCache) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.capacity = n
+	// Bounded by the entry count at entry (evictions under c.mu only
+	// shrink it), so no cancellation poll is needed.
+	for i := c.order.Len(); i > c.capacity; i-- {
+		c.evictOldest()
+	}
+}
+
+// Get returns the plan for key at the given epoch, if present and current.
+// An epoch newer than any seen purges the cache first; a lookup older than
+// the latest epoch can never hit. The returned plan is shared and must be
+// treated as read-only.
+func (c *PlanCache) Get(epoch uint64, key PlanKey) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(epoch)
+	if epoch < c.epoch {
+		c.miss()
+		return nil, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.miss()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	obs.PlanCacheHits.Inc()
+	return el.Value.(*planEntry).plan, true
+}
+
+// Put stores plan under key for the given epoch, evicting the
+// least-recently-used plan past capacity. Plans for epochs older than the
+// newest seen are discarded rather than stored.
+func (c *PlanCache) Put(epoch uint64, key PlanKey, plan *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(epoch)
+	if epoch < c.epoch {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planEntry{key: key, plan: plan})
+	for i := c.order.Len(); i > c.capacity; i-- {
+		c.evictOldest()
+		c.evictions++
+		obs.PlanCacheEvictions.Inc()
+	}
+}
+
+// Stats returns the cache's counter snapshot.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.order.Len(),
+		Capacity:      c.capacity,
+	}
+}
+
+// advance moves the single live epoch forward, purging every held plan
+// when it does. Callers hold c.mu.
+func (c *PlanCache) advance(epoch uint64) {
+	if epoch <= c.epoch {
+		return
+	}
+	if c.order.Len() > 0 {
+		c.invalidations++
+		obs.PlanCacheInvalidations.Inc()
+		c.order.Init()
+		clear(c.entries)
+	}
+	c.epoch = epoch
+}
+
+// miss counts one miss. Callers hold c.mu.
+func (c *PlanCache) miss() {
+	c.misses++
+	obs.PlanCacheMisses.Inc()
+}
+
+// evictOldest drops the back of the LRU list. Callers hold c.mu.
+func (c *PlanCache) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*planEntry).key)
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"gqldb/internal/expr"
 	"gqldb/internal/graph"
 	"gqldb/internal/index"
 	"gqldb/internal/pattern"
@@ -36,17 +35,37 @@ type searcher struct {
 	padj [][]pHalf
 
 	// Search state.
-	assign   []graph.NodeID // pattern node -> data node (NoNode if free)
-	edgeMap  []graph.EdgeID // pattern edge -> witnessing data edge
-	usedData map[graph.NodeID]bool
-	out      []Mapping
-	done     bool
+	assign  []graph.NodeID // pattern node -> data node (NoNode if free)
+	edgeMap []graph.EdgeID // pattern edge -> witnessing data edge
+	// used[v] marks data node v as currently assigned (injectivity);
+	// indexed by data node so the per-candidate check is one load.
+	used []bool
+	out  []Mapping
+	done bool
 
-	// AdjIterate support: per-pattern-node membership sets over phi and
-	// per-depth candidate buffers.
-	member  []map[graph.NodeID]bool
-	candBuf [][]graph.NodeID
+	// benv is the reusable binding environment for the residual predicate:
+	// passing &benv avoids an interface-conversion allocation per complete
+	// assignment (it views assign/edgeMap in place).
+	benv bindEnv
+
+	// AdjIterate support: per-pattern-node Φ-membership bitsets, per-depth
+	// candidate buffers, and epoch-stamped dedup scratch (no per-call maps
+	// in the inner loop).
+	member    [][]uint64
+	candBuf   [][]graph.NodeID
+	seenStamp []int32
+	seenEpoch int32
+
+	// nodeArena/edgeArena amortize Mapping allocations: emit carves rows
+	// off large blocks (one allocation per arenaBlock matches instead of
+	// two per match). Rows are never reused, so emitted mappings stay
+	// immutable after they leave the searcher.
+	nodeArena []graph.NodeID
+	edgeArena []graph.EdgeID
 }
+
+// arenaBlock is how many Mapping rows one arena allocation holds.
+const arenaBlock = 64
 
 // pHalf is a pattern half-edge: edge ID, the opposite endpoint, and whether
 // the edge is oriented out of the owning node (meaningful when directed).
@@ -78,41 +97,87 @@ func (s *searcher) cancelled() bool {
 
 func (s *searcher) run() error {
 	n := s.p.Size()
-	s.stats.CandBaseline = make([]int, n)
-	s.stats.CandLocal = make([]int, n)
-	s.stats.CandRefined = make([]int, n)
 
-	start := time.Now()
-	if err := s.retrieve(); err != nil {
-		return err
+	var key PlanKey
+	cached := false
+	if s.opt.Plans != nil {
+		key = planKeyFor(s.p, s.g, s.ix, s.opt)
+		if pl, ok := s.opt.Plans.Get(s.opt.PlanEpoch, key); ok {
+			s.adoptPlan(pl)
+			cached = true
+		}
 	}
-	s.stats.RetrieveTime = time.Since(start)
-	if s.ctxErr != nil {
-		return s.ctxErr
-	}
+	if !cached {
+		s.stats.CandBaseline = make([]int, n)
+		s.stats.CandLocal = make([]int, n)
+		s.stats.CandRefined = make([]int, n)
 
-	if s.opt.Refine {
-		start = time.Now()
-		s.refine()
-		s.stats.RefineTime = time.Since(start)
+		start := time.Now()
+		if err := s.retrieve(); err != nil {
+			return err
+		}
+		s.stats.RetrieveTime = time.Since(start)
 		if s.ctxErr != nil {
 			return s.ctxErr
 		}
-	}
-	for u := range s.phi {
-		s.stats.CandRefined[u] = len(s.phi[u])
+
+		if s.opt.Refine {
+			start = time.Now()
+			s.refine()
+			s.stats.RefineTime = time.Since(start)
+			if s.ctxErr != nil {
+				return s.ctxErr
+			}
+		}
+		for u := range s.phi {
+			s.stats.CandRefined[u] = len(s.phi[u])
+		}
+
+		start = time.Now()
+		s.plan()
+		s.stats.OrderTime = time.Since(start)
+		s.stats.Order = append([]graph.NodeID(nil), s.order...)
+
+		if s.opt.Plans != nil {
+			s.opt.Plans.Put(s.opt.PlanEpoch, key, s.planSnapshot())
+		}
 	}
 
-	start = time.Now()
-	s.plan()
-	s.stats.OrderTime = time.Since(start)
-	s.stats.Order = append([]graph.NodeID(nil), s.order...)
-
-	start = time.Now()
+	start := time.Now()
 	s.search()
 	s.stats.SearchTime = time.Since(start)
 	s.stats.NumMatches = len(s.out)
 	return s.ctxErr
+}
+
+// adoptPlan installs a shared cached plan. The feasible-mate lists are
+// aliased — the search phase only reads them — while the order and the
+// statistics slices are copied out, since Stats escapes to the caller.
+func (s *searcher) adoptPlan(pl *Plan) {
+	s.phi = pl.Phi
+	s.order = append([]graph.NodeID(nil), pl.Order...)
+	s.finishPlan()
+	s.stats.PlanCacheHit = true
+	s.stats.EstCost = pl.EstCost
+	s.stats.Order = append([]graph.NodeID(nil), pl.Order...)
+	s.stats.CandBaseline = append([]int(nil), pl.CandBaseline...)
+	s.stats.CandLocal = append([]int(nil), pl.CandLocal...)
+	s.stats.CandRefined = append([]int(nil), pl.CandRefined...)
+}
+
+// planSnapshot captures the planning output for the cache. phi is stored
+// as-is: the searcher never writes through the lists after planning
+// (retrieval and refinement always build fresh backing arrays), so the
+// cached plan and the search that produced it can share them.
+func (s *searcher) planSnapshot() *Plan {
+	return &Plan{
+		Phi:          s.phi,
+		Order:        append([]graph.NodeID(nil), s.order...),
+		EstCost:      s.stats.EstCost,
+		CandBaseline: append([]int(nil), s.stats.CandBaseline...),
+		CandLocal:    append([]int(nil), s.stats.CandLocal...),
+		CandRefined:  append([]int(nil), s.stats.CandRefined...),
+	}
 }
 
 // retrieve fills phi with the feasible mates of every pattern node
@@ -264,6 +329,14 @@ func (s *searcher) plan() {
 			s.order[i] = graph.NodeID(i)
 		}
 	}
+	s.finishPlan()
+}
+
+// finishPlan derives the search-phase structures from s.order: the inverse
+// position map and the pattern adjacency used by Check. Shared between the
+// planner and cached-plan adoption.
+func (s *searcher) finishPlan() {
+	n := s.p.Size()
 	s.pos = make([]int, n)
 	for i, u := range s.order {
 		s.pos[u] = i
@@ -285,10 +358,15 @@ func (s *searcher) search() {
 		s.assign[i] = graph.NoNode
 	}
 	s.edgeMap = make([]graph.EdgeID, s.p.Motif.NumEdges())
-	s.usedData = make(map[graph.NodeID]bool, n)
+	s.used = make([]bool, s.g.NumNodes())
+	s.benv = bindEnv{p: s.p, g: s.g, nodes: s.assign, edges: s.edgeMap}
 	if s.opt.AdjIterate {
-		s.member = make([]map[graph.NodeID]bool, n)
+		s.member = make([][]uint64, n)
 		s.candBuf = make([][]graph.NodeID, n)
+		s.seenStamp = make([]int32, s.g.NumNodes())
+		for i := range s.seenStamp {
+			s.seenStamp[i] = -1
+		}
 	}
 	if n == 0 {
 		// An empty pattern matches any graph once, subject to the global
@@ -329,18 +407,18 @@ func (s *searcher) candidates(i int) []graph.NodeID {
 		}
 		mem := s.member[u]
 		if mem == nil {
-			mem = make(map[graph.NodeID]bool, len(s.phi[u]))
+			mem = make([]uint64, (s.g.NumNodes()+63)/64)
 			for _, x := range s.phi[u] {
-				mem[x] = true
+				mem[x>>6] |= 1 << (uint(x) & 63)
 			}
 			s.member[u] = mem
 		}
 		out := s.candBuf[i][:0]
-		seen := make(map[graph.NodeID]bool, len(adj))
+		s.seenEpoch++
 		for _, h2 := range adj {
 			v := h2.To
-			if mem[v] && !seen[v] {
-				seen[v] = true
+			if mem[v>>6]&(1<<(uint(v)&63)) != 0 && s.seenStamp[v] != s.seenEpoch {
+				s.seenStamp[v] = s.seenEpoch
 				out = append(out, v)
 			}
 		}
@@ -356,7 +434,7 @@ func (s *searcher) rec(i int) {
 		if s.done || s.cancelled() {
 			return
 		}
-		if s.usedData[v] {
+		if s.used[v] {
 			continue
 		}
 		s.stats.SearchSteps++
@@ -364,13 +442,13 @@ func (s *searcher) rec(i int) {
 			continue
 		}
 		s.assign[u] = v
-		s.usedData[v] = true
+		s.used[v] = true
 		if i+1 < len(s.order) {
 			s.rec(i + 1)
 		} else if ok, _ := s.globalHolds(); ok {
 			s.emit()
 		}
-		s.usedData[v] = false
+		s.used[v] = false
 		s.assign[u] = graph.NoNode
 		if s.done {
 			return
@@ -420,13 +498,29 @@ func (s *searcher) check(u graph.NodeID, v graph.NodeID) bool {
 }
 
 // emit records the current assignment as a mapping and applies the
-// exhaustive/limit stopping rules.
+// exhaustive/limit stopping rules. Mapping rows are carved off the arenas:
+// one backing allocation per arenaBlock matches instead of two per match,
+// and nil slices are preserved for empty node/edge sets.
 func (s *searcher) emit() {
-	m := Mapping{
-		Nodes: append([]graph.NodeID(nil), s.assign...),
-		Edges: append([]graph.EdgeID(nil), s.edgeMap...),
+	var nodes []graph.NodeID
+	if n := len(s.assign); n > 0 {
+		if len(s.nodeArena) < n {
+			s.nodeArena = make([]graph.NodeID, n*arenaBlock)
+		}
+		nodes = s.nodeArena[:n:n]
+		s.nodeArena = s.nodeArena[n:]
+		copy(nodes, s.assign)
 	}
-	s.out = append(s.out, m)
+	var edges []graph.EdgeID
+	if n := len(s.edgeMap); n > 0 {
+		if len(s.edgeArena) < n {
+			s.edgeArena = make([]graph.EdgeID, n*arenaBlock)
+		}
+		edges = s.edgeArena[:n:n]
+		s.edgeArena = s.edgeArena[n:]
+		copy(edges, s.edgeMap)
+	}
+	s.out = append(s.out, Mapping{Nodes: nodes, Edges: edges})
 	if !s.opt.Exhaustive {
 		s.done = true
 	}
@@ -437,12 +531,13 @@ func (s *searcher) emit() {
 }
 
 // globalHolds evaluates the residual graph-wide predicate under the current
-// (complete) assignment.
+// (complete) assignment, through the compiled form when available. The
+// pointer conversion of the reusable benv avoids an allocation per call.
 func (s *searcher) globalHolds() (bool, error) {
 	if s.p.Global == nil {
 		return true, nil
 	}
-	return expr.Holds(s.p.Global, bindEnv{p: s.p, g: s.g, nodes: s.assign, edges: s.edgeMap})
+	return s.p.GlobalHolds(&s.benv)
 }
 
 // bindEnv resolves qualified names against a complete pattern binding:
@@ -456,8 +551,10 @@ type bindEnv struct {
 	edges []graph.EdgeID
 }
 
-// Resolve implements expr.Env.
-func (b bindEnv) Resolve(parts []string) (graph.Value, error) {
+// Resolve implements expr.Env. Pointer receiver: the searcher passes its
+// one reusable bindEnv by address, which converts to the interface without
+// allocating.
+func (b *bindEnv) Resolve(parts []string) (graph.Value, error) {
 	if len(parts) >= 2 && b.p.Name != "" && parts[0] == b.p.Name {
 		parts = parts[1:]
 	}

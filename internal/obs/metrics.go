@@ -171,6 +171,18 @@ var (
 	// CacheInvalidations counts whole-cache purges triggered by a store
 	// version bump.
 	CacheInvalidations = newCounter("gqldb_cache_invalidations_total", "query result cache purges on store version bump")
+	// PlanCacheHits counts selections whose §4.4 search plan (feasible
+	// mates and search order) was served from the plan cache.
+	PlanCacheHits = newCounter("gqldb_plan_cache_hits_total", "match plan cache hits")
+	// PlanCacheMisses counts plan-cache lookups that fell through to
+	// retrieval and planning.
+	PlanCacheMisses = newCounter("gqldb_plan_cache_misses_total", "match plan cache misses")
+	// PlanCacheEvictions counts plans dropped by the plan cache's LRU
+	// capacity bound.
+	PlanCacheEvictions = newCounter("gqldb_plan_cache_evictions_total", "match plan cache capacity evictions")
+	// PlanCacheInvalidations counts whole-plan-cache purges triggered by a
+	// statistics epoch bump (store version).
+	PlanCacheInvalidations = newCounter("gqldb_plan_cache_invalidations_total", "match plan cache purges on epoch bump")
 	// PoolRuns counts bulk-operator executions on the worker pool.
 	PoolRuns = newCounter("gqldb_pool_runs_total", "bulk operator executions on the worker pool")
 	// PoolTasks counts individual work items fanned out on the pool.

@@ -34,6 +34,14 @@ type Pattern struct {
 	// against the whole binding (multi-node conjuncts, graph attributes).
 	Global expr.Expr
 
+	// Compiled closure forms of the predicates above, built once by
+	// Compile so the per-candidate feasible-mate test and the per-binding
+	// residual check run without tree-walking (see expr.Compile). Nil
+	// entries hold trivially.
+	nodePredC []expr.Pred
+	edgePredC []expr.Pred
+	globalC   expr.Pred
+
 	// where holds the raw predicates accumulated before Compile.
 	where []expr.Expr
 	// constLabel[u] is the constant required by a `label == "X"` conjunct
@@ -152,6 +160,17 @@ func (p *Pattern) Compile() error {
 	}
 	p.Global = expr.And(global...)
 	p.extractConstLabels()
+	// Lower every predicate to its closure form once; the σ_P inner loop
+	// then evaluates candidates without re-walking the trees.
+	p.nodePredC = make([]expr.Pred, len(p.NodePred))
+	for u, e := range p.NodePred {
+		p.nodePredC[u] = expr.CompilePred(e)
+	}
+	p.edgePredC = make([]expr.Pred, len(p.EdgePred))
+	for e, x := range p.EdgePred {
+		p.edgePredC[e] = expr.CompilePred(x)
+	}
+	p.globalC = expr.CompilePred(p.Global)
 	p.compiled = true
 	return p.validate()
 }
@@ -261,32 +280,61 @@ func (p *Pattern) validate() error {
 // Size returns the number of motif nodes.
 func (p *Pattern) Size() int { return p.Motif.NumNodes() }
 
-// nodeEnv resolves bare attribute names against one tuple.
-type nodeEnv struct{ attrs *graph.Tuple }
+// tupleEnv resolves bare attribute names against one tuple. It is a named
+// pointer type so converting it to expr.Env stores the tuple pointer
+// directly in the interface word — the per-candidate predicate check
+// allocates nothing. A nil receiver (node without attributes) resolves
+// every name to Null, matching Tuple.GetOr.
+type tupleEnv graph.Tuple
 
 // Resolve implements expr.Env.
-func (e nodeEnv) Resolve(parts []string) (graph.Value, error) {
+func (t *tupleEnv) Resolve(parts []string) (graph.Value, error) {
 	if len(parts) != 1 {
 		return graph.Null, fmt.Errorf("pattern: qualified name %v in element-local predicate", parts)
 	}
-	return e.attrs.GetOr(parts[0]), nil
+	return (*graph.Tuple)(t).GetOr(parts[0]), nil
 }
 
 // NodeMatches reports whether data node (tuple) v satisfies pattern node u's
 // tag and local predicate — the feasible-mate test F_u(v) of Definition 4.8.
+// On a compiled pattern the predicate runs in its closure form; an
+// uncompiled pattern (predicates attached after Compile) falls back to the
+// tree walk so the test stays total.
 func (p *Pattern) NodeMatches(u graph.NodeID, attrs *graph.Tuple) (bool, error) {
 	if tag := p.NodeTag[u]; tag != "" {
 		if attrs == nil || attrs.Tag != tag {
 			return false, nil
 		}
 	}
-	return expr.Holds(p.NodePred[u], nodeEnv{attrs})
+	if int(u) < len(p.nodePredC) {
+		if pred := p.nodePredC[u]; pred != nil {
+			return pred((*tupleEnv)(attrs))
+		}
+		return true, nil
+	}
+	return expr.Holds(p.NodePred[u], (*tupleEnv)(attrs))
 }
 
 // EdgeMatches reports whether a data edge's attributes satisfy pattern edge
 // e's local predicate F_e.
 func (p *Pattern) EdgeMatches(e graph.EdgeID, attrs *graph.Tuple) (bool, error) {
-	return expr.Holds(p.EdgePred[e], nodeEnv{attrs})
+	if int(e) < len(p.edgePredC) {
+		if pred := p.edgePredC[e]; pred != nil {
+			return pred((*tupleEnv)(attrs))
+		}
+		return true, nil
+	}
+	return expr.Holds(p.EdgePred[e], (*tupleEnv)(attrs))
+}
+
+// GlobalHolds evaluates the residual graph-wide predicate under env (a
+// complete binding), using the compiled form when available. A nil Global
+// holds trivially.
+func (p *Pattern) GlobalHolds(env expr.Env) (bool, error) {
+	if p.globalC != nil {
+		return p.globalC(env)
+	}
+	return expr.Holds(p.Global, env)
 }
 
 // String renders the pattern motif plus its full predicate: pushed-down

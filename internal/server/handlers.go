@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gqldb/internal/exec"
+	"gqldb/internal/match"
 	"gqldb/internal/obs"
 	"gqldb/internal/store"
 )
@@ -293,6 +294,9 @@ type healthResponse struct {
 	// Cache is the result cache's counter snapshot, present when caching is
 	// enabled.
 	Cache *store.CacheStats `json:"cache,omitempty"`
+	// PlanCache is the plan cache's counter snapshot, present when plan
+	// caching is enabled.
+	PlanCache *match.PlanCacheStats `json:"plan_cache,omitempty"`
 }
 
 // handleHealthz serves GET /healthz: 200 ok while accepting, 503 once
@@ -309,6 +313,10 @@ func (s *Server) handleHealthz(w *statusWriter, r *http.Request) {
 	if s.engine.Cache != nil {
 		stats := s.engine.Cache.Stats()
 		out.Cache = &stats
+	}
+	if s.engine.Plans != nil {
+		stats := s.engine.Plans.Stats()
+		out.PlanCache = &stats
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
