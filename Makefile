@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-server race vet gqlvet fuzz-smoke bench-obs bench-store bench-vet bench-match check
+.PHONY: all build test test-server test-cluster race vet gqlvet fuzz-smoke bench-obs bench-store bench-vet bench-match bench-check check
 
 all: check
 
@@ -19,6 +19,16 @@ test:
 ## a SIGTERM drain that must exit 0 within the grace period
 test-server:
 	$(GO) test ./internal/server -run TestServerBlackBox -v
+
+## test-cluster: black-box gate for the distributed read path — builds
+## cmd/gqlshard and cmd/gqlserver, starts a 3-mirror shard cluster plus a
+## frontend on random ports, and asserts byte-identical answers vs the
+## embedded engine, version-handshake resync after /admin/doc, retry past
+## a shard killed mid-stream, an empty restarted mirror converging, the
+## fail-mode (502 shard_error) and -allow-partial frontends, the shard
+## counters on /metrics, and a clean SIGTERM drain of every process
+test-cluster:
+	$(GO) test ./internal/cluster -run TestClusterBlackBox -v
 
 ## race: run the tests under the race detector (includes the
 ## ParallelSelection work-stealing stress tests and the shared-engine
@@ -49,6 +59,7 @@ fuzz-smoke:
 	$(GO) test ./internal/expr -run FuzzCompiledEval -fuzz FuzzCompiledEval -fuzztime 10s
 	$(GO) test ./internal/server -run 'FuzzServerQuery$$' -fuzz 'FuzzServerQuery$$' -fuzztime 10s
 	$(GO) test ./internal/server -run 'FuzzServerQueryV2$$' -fuzz 'FuzzServerQueryV2$$' -fuzztime 10s
+	$(GO) test ./internal/store -run FuzzShardWire -fuzz FuzzShardWire -fuzztime 10s
 
 ## bench-obs: tracing-overhead guard — the off variant must stay within
 ## noise of BenchmarkParallelExec (observability disabled is one context
@@ -61,17 +72,19 @@ bench-obs:
 ## bench-store: storage-layer guard — compiles and runs the sharded
 ## fan-out and result-cache benchmarks (cache hits must be cheaper than
 ## re-evaluation; the hit variant asserts the cache actually answered);
-## recorded in BENCH_store.json
+## recorded in BENCH_store.json. The benchtime matches bench-check so
+## the recorded baseline and the gate measure under the same conditions.
 bench-store:
-	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 1x -benchmem ./internal/store \
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 100ms -count 5 -benchmem ./internal/store \
 		| $(GO) run ./cmd/benchjson -o BENCH_store.json
 
 ## bench-match: match hot-path guard — the plan-cache-hot run must beat
 ## the uncached baseline on time and allocations (the cold run pays the
 ## Put), and the compiled predicate must beat the tree-walking
-## evaluator; recorded in BENCH_match.json
+## evaluator; recorded in BENCH_match.json. The benchtime matches
+## bench-check so baseline and gate measure under the same conditions.
 bench-match:
-	$(GO) test -run '^$$' -bench 'BenchmarkMatchPlanned|BenchmarkCompiledPredicate' -benchtime 1x -benchmem ./internal/match ./internal/expr \
+	$(GO) test -run '^$$' -bench 'BenchmarkMatchPlanned|BenchmarkCompiledPredicate' -benchtime 100ms -count 5 -benchmem ./internal/match ./internal/expr \
 		| $(GO) run ./cmd/benchjson -o BENCH_match.json
 
 ## bench-vet: analyzer-suite latency — one full gqlvet pass (parse,
@@ -81,5 +94,19 @@ bench-vet:
 	$(GO) test -run '^$$' -bench 'BenchmarkVet' -benchtime 1x -benchmem ./cmd/gqlvet \
 		| $(GO) run ./cmd/benchjson -o BENCH_vet.json
 
+## bench-check: regression gate — re-run the store and match bench suites
+## and compare ns/op against the last committed trajectory entry in the
+## BENCH_*.json files; any >25% slowdown on a tracked benchmark fails the
+## target (the files are not rewritten; refresh them with the bench-*
+## targets). The time-based benchtime amortizes per-iteration scheduler
+## noise and -count 5 gives benchjson best-of-N samples to collapse, so a
+## single preempted run cannot fake a regression; the whole-query obs
+## suite stays out of the gate for the same reason.
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 100ms -count 5 -benchmem ./internal/store \
+		| $(GO) run ./cmd/benchjson -check BENCH_store.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMatchPlanned|BenchmarkCompiledPredicate' -benchtime 100ms -count 5 -benchmem ./internal/match ./internal/expr \
+		| $(GO) run ./cmd/benchjson -check BENCH_match.json
+
 ## check: everything CI runs
-check: build vet gqlvet test test-server race fuzz-smoke
+check: build vet gqlvet test test-server test-cluster race fuzz-smoke

@@ -189,3 +189,138 @@ func TestRunRejectsEmptyAndFail(t *testing.T) {
 		t.Errorf("missing -o: exit = %d, want 2", code)
 	}
 }
+
+// writeTrajectory seeds an artifact with one committed run for the -check
+// tests.
+func writeTrajectory(t *testing.T, input string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-o", path, "-commit", "base001", "-date", "2026-01-01"}
+	if code := run(args, strings.NewReader(input), &stdout, &stderr); code != 0 {
+		t.Fatalf("seeding trajectory: exit %d; stderr: %s", code, stderr.String())
+	}
+	return path
+}
+
+// TestCheckPassesWithinThreshold pins the gate's accept side: identical
+// numbers and small slowdowns stay inside the default 25% budget, and the
+// artifact is left untouched.
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	path := writeTrajectory(t, sampleRun)
+	before, _ := os.ReadFile(path)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-check", path}, strings.NewReader(sampleRun), &stdout, &stderr); code != 0 {
+		t.Fatalf("identical run: exit %d; stderr: %s", code, stderr.String())
+	}
+	// +20% stays under the default 25% threshold.
+	slower := strings.ReplaceAll(sampleRun, "12345678 ns/op", "14814813 ns/op")
+	if code := run([]string{"-check", path}, strings.NewReader(slower), &stdout, &stderr); code != 0 {
+		t.Fatalf("+20%% run: exit %d; stderr: %s", code, stderr.String())
+	}
+	if after, _ := os.ReadFile(path); !bytes.Equal(before, after) {
+		t.Error("-check rewrote the artifact")
+	}
+}
+
+// TestCheckFailsOnRegression pins the reject side: a slowdown past the
+// threshold exits 1 and names the offending benchmark.
+func TestCheckFailsOnRegression(t *testing.T) {
+	path := writeTrajectory(t, sampleRun)
+	var stdout, stderr bytes.Buffer
+	// +30% trips the default 25% threshold.
+	slower := strings.ReplaceAll(sampleRun, "12345678 ns/op", "16049381 ns/op")
+	if code := run([]string{"-check", path}, strings.NewReader(slower), &stdout, &stderr); code != 1 {
+		t.Fatalf("+30%% run: exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION BenchmarkShardedSelection-8") {
+		t.Errorf("stderr does not name the regressed benchmark: %s", stderr.String())
+	}
+	// A looser explicit threshold accepts the same run.
+	stderr.Reset()
+	if code := run([]string{"-check", path, "-threshold", "0.5"}, strings.NewReader(slower), &stdout, &stderr); code != 0 {
+		t.Fatalf("+30%% under -threshold 0.5: exit %d; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestCheckComparesAgainstLastRun pins that the baseline is the final
+// trajectory entry, not an earlier one.
+func TestCheckComparesAgainstLastRun(t *testing.T) {
+	path := writeTrajectory(t, sampleRun)
+	var stdout, stderr bytes.Buffer
+	// Second committed run is 10x faster; the gate must compare against it.
+	faster := strings.ReplaceAll(sampleRun, "12345678 ns/op", "1234567 ns/op")
+	if code := run([]string{"-o", path, "-commit", "base002", "-date", "2026-01-02"},
+		strings.NewReader(faster), &stdout, &stderr); code != 0 {
+		t.Fatalf("appending second run: exit %d; stderr: %s", code, stderr.String())
+	}
+	// The original numbers are now a huge regression vs the new baseline.
+	if code := run([]string{"-check", path}, strings.NewReader(sampleRun), &stdout, &stderr); code != 1 {
+		t.Fatalf("old numbers vs new baseline: exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestCheckSkipsUnmatchedBenchmarks pins that adding or retiring a
+// benchmark never trips the gate.
+func TestCheckSkipsUnmatchedBenchmarks(t *testing.T) {
+	path := writeTrajectory(t, sampleRun)
+	var stdout, stderr bytes.Buffer
+	renamed := strings.ReplaceAll(sampleRun, "BenchmarkShardedSelection-8", "BenchmarkBrandNew-8")
+	if code := run([]string{"-check", path}, strings.NewReader(renamed), &stdout, &stderr); code != 0 {
+		t.Fatalf("renamed benchmark: exit %d; stderr: %s", code, stderr.String())
+	}
+	for _, frag := range []string{"BenchmarkBrandNew-8: new benchmark", "BenchmarkShardedSelection-8: in baseline but not in this run"} {
+		if !strings.Contains(stderr.String(), frag) {
+			t.Errorf("stderr missing %q: %s", frag, stderr.String())
+		}
+	}
+}
+
+// TestCollapseBest pins best-of-N sample collapsing: a -count run's
+// repeated lines reduce to the fastest sample on both the record and the
+// check side, so one noisy sample cannot trip the gate.
+func TestCollapseBest(t *testing.T) {
+	multi := `BenchmarkShardedSelection-8   	     100	  12345678 ns/op	 4096 B/op	      12 allocs/op
+BenchmarkShardedSelection-8   	      60	  19999999 ns/op	 4096 B/op	      12 allocs/op
+BenchmarkShardedSelection-8   	     110	  11000000 ns/op	 4096 B/op	      12 allocs/op
+BenchmarkCacheHit-8           	 5000000	       0.5 ns/op	    0 B/op	       0 allocs/op
+PASS
+`
+	path := writeTrajectory(t, multi)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(f.Runs[0].Benchmarks); n != 2 {
+		t.Fatalf("recorded %d benchmarks, want 2 (collapsed)", n)
+	}
+	if got := f.Runs[0].Benchmarks[0].NsPerOp; got != 11000000 {
+		t.Errorf("recorded ns/op = %v, want the 11000000 minimum", got)
+	}
+	// On the check side: two terrible samples plus one within budget must
+	// pass, because only the fastest sample represents the run.
+	noisy := strings.ReplaceAll(multi, "11000000 ns/op", "12000000 ns/op")
+	noisy = strings.ReplaceAll(noisy, "19999999 ns/op", "99999999 ns/op")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-check", path}, strings.NewReader(noisy), &stdout, &stderr); code != 0 {
+		t.Fatalf("noisy -count run: exit %d; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestCheckUsageErrors pins the sharp edges: -o with -check, and checking
+// against a missing or empty artifact.
+func TestCheckUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", "x.json", "-check", "y.json"},
+		strings.NewReader(sampleRun), &stdout, &stderr); code != 2 {
+		t.Errorf("-o with -check: exit %d, want 2", code)
+	}
+	missing := filepath.Join(t.TempDir(), "BENCH_missing.json")
+	if code := run([]string{"-check", missing}, strings.NewReader(sampleRun), &stdout, &stderr); code != 2 {
+		t.Errorf("missing artifact: exit %d, want 2", code)
+	}
+}

@@ -6,7 +6,19 @@
 //	gqlserver -addr :8080 -doc name=file.tsv [-doc name2=file2.gql] \
 //	    [-workers N] [-max-inflight N] [-timeout 30s] [-max-body 1048576] \
 //	    [-grace 10s] [-slow 100ms] [-shards N] [-cache N] [-index-paths L] \
-//	    [-flush-interval 100ms] [-max-take N]
+//	    [-flush-interval 100ms] [-max-take N] \
+//	    [-selector http://host:port ...] [-shard-timeout 10s] \
+//	    [-shard-retries 2] [-shard-hedge-after 30ms] [-allow-partial] \
+//	    [-admin]
+//
+// -selector (repeatable) turns the process into a cluster frontend:
+// selection fans out to the listed gqlshard endpoints over the store wire
+// protocol instead of evaluating in-process, with per-attempt timeouts
+// (-shard-timeout), bounded retry rotation across replicas
+// (-shard-retries), optional hedging (-shard-hedge-after) and explicit
+// degradation (-allow-partial). Every endpoint's health is probed in the
+// background and reported on /healthz. -admin mounts POST /admin/doc for
+// runtime document registration (trusted operators only).
 //
 // -shards partitions every document into N hash shards whose selections fan
 // out concurrently and merge deterministically; -index-paths builds a
@@ -41,6 +53,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +75,19 @@ import (
 	"gqldb/internal/store"
 	"time"
 )
+
+// endpointFlags collects repeated -selector URL flags.
+type endpointFlags []string
+
+func (e *endpointFlags) String() string { return strings.Join(*e, ",") }
+
+func (e *endpointFlags) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty endpoint")
+	}
+	*e = append(*e, v)
+	return nil
+}
 
 // docFlags collects repeated -doc name=path flags.
 type docFlags map[string]string
@@ -94,6 +120,14 @@ func main() {
 	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables; 3 is a good default for many small graphs)")
 	flushInterval := flag.Duration("flush-interval", 100*time.Millisecond, "flush pacing for streamed v2 responses (negative flushes every row)")
 	maxTake := flag.Int("max-take", 0, "cap on rows one v2 request may take (0 = uncapped); capped requests get a next_skip cursor")
+	var selectors endpointFlags
+	flag.Var(&selectors, "selector", "shard-server base URL (repeatable); selection fans out to the cluster instead of evaluating in-process")
+	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-attempt timeout of one shard RPC")
+	shardRetries := flag.Int("shard-retries", 2, "retry budget per shard beyond the first attempt (each retry rotates to the next replica)")
+	hedgeAfter := flag.Duration("shard-hedge-after", 0, "fire a duplicate shard RPC at the next replica after this delay (0 disables hedging)")
+	allowPartial := flag.Bool("allow-partial", false, "degrade a dead shard to an empty answer instead of failing the query")
+	probeEvery := flag.Duration("shard-probe-interval", 5*time.Second, "background health-probe interval for shard endpoints")
+	admin := flag.Bool("admin", false, "mount the mutating admin surface (POST /admin/doc)")
 	flag.Parse()
 
 	eng := exec.NewOver(store.New(store.Options{Shards: *shards, IndexMaxLen: *indexLen}))
@@ -106,6 +140,18 @@ func main() {
 	eng.Workers = *workers
 	eng.SlowQuery = *slow
 	eng.SlowQueryLog = func(r obs.SlowQueryRecord) { log.Printf("gqlserver: %s", r) }
+	if len(selectors) > 0 {
+		rs := store.NewRemoteSelector(selectors)
+		rs.SetTimeout(*shardTimeout)
+		rs.SetRetries(*shardRetries)
+		rs.SetHedgeAfter(*hedgeAfter)
+		rs.SetAllowPartial(*allowPartial)
+		eng.Selector = rs
+		stopProbe := rs.StartProbing(context.Background(), *probeEvery)
+		defer stopProbe()
+		log.Printf("gqlserver: routing selection to %d shard endpoint(s): %s",
+			len(selectors), strings.Join(selectors, ", "))
+	}
 
 	srv := server.New(server.Config{
 		Engine:        eng,
@@ -115,6 +161,7 @@ func main() {
 		MaxTimeout:    *maxTimeout,
 		FlushInterval: *flushInterval,
 		MaxTake:       *maxTake,
+		Admin:         *admin,
 	})
 	for name, path := range docs {
 		coll, err := loadDoc(path)

@@ -1,0 +1,161 @@
+// Command gqlshard serves one process of the distributed read path: a
+// shard server holding a full mirror of the document set, partitioned
+// locally with the same deterministic hash as the frontend, answering
+// per-shard selection jobs over the store wire protocol.
+//
+// Usage:
+//
+//	gqlshard -addr :7301 -shards 3 [-doc name=file.tsv ...] \
+//	    [-index-paths L] [-workers N] [-max-body BYTES] [-plan-cache N] \
+//	    [-grace 10s]
+//
+// -shards MUST match the frontend's shard count: both sides hash-partition
+// each document identically, and a request whose partition width disagrees
+// is rejected with a topology error. Documents may be preloaded with -doc
+// (same formats as gqlserver: .tsv, .bin, .gql) or arrive at runtime via
+// /shard/sync when a frontend detects the mirror is stale — a gqlshard
+// started empty converges on first contact.
+//
+// Endpoints:
+//
+//	POST /shard/select  one shard's selection job; NDJSON frames
+//	POST /shard/sync    install a document pushed by the frontend
+//	GET  /healthz       liveness + mirror census
+//	GET  /metrics       Prometheus text dump
+//
+// On SIGTERM/SIGINT the server drains: /healthz flips to 503, in-flight
+// jobs get up to -grace to finish, and the process exits 0 on a clean
+// drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gqldb/internal/ast"
+	"gqldb/internal/graph"
+	"gqldb/internal/parser"
+	"gqldb/internal/shardsrv"
+)
+
+// docFlags collects repeated -doc name=path flags.
+type docFlags map[string]string
+
+func (d docFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d docFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("expected name=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+func main() {
+	docs := docFlags{}
+	flag.Var(docs, "doc", "document binding name=path (repeatable; .tsv, .bin or .gql)")
+	addr := flag.String("addr", ":7301", "listen address")
+	shards := flag.Int("shards", 1, "partition width; must equal the frontend's -shards")
+	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables)")
+	workers := flag.Int("workers", 0, "cap on shard-local match fan-out (0 = GOMAXPROCS)")
+	maxBody := flag.Int64("max-body", 64<<20, "request body cap in bytes (select jobs and sync pushes)")
+	planCache := flag.Int("plan-cache", 0, "search-plan cache capacity in entries (0 = default)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight jobs")
+	flag.Parse()
+
+	srv := shardsrv.New(shardsrv.Config{
+		Shards:      *shards,
+		IndexMaxLen: *indexLen,
+		MaxBody:     *maxBody,
+		Workers:     *workers,
+		PlanCap:     *planCache,
+	})
+	for name, path := range docs {
+		coll, err := loadDoc(path)
+		if err != nil {
+			fail("loading %s: %v", path, err)
+		}
+		srv.RegisterDoc(name, coll)
+		log.Printf("gqlshard: loaded document %s from %s (%d graphs)", name, path, len(coll))
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen %s: %v", *addr, err)
+	}
+	log.Printf("gqlshard: listening on %s", l.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("gqlshard: received %v, draining (grace %v, %d in flight)", s, *grace, srv.Inflight())
+		if err := srv.Drain(hs, *grace); err != nil {
+			log.Printf("gqlshard: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("gqlshard: drained cleanly")
+	case err := <-errc:
+		fail("serve: %v", err)
+	}
+}
+
+// loadDoc reads a document: .tsv is one large graph, .bin a binary
+// collection; anything else is parsed as a sequence of graph literals.
+func loadDoc(path string) (graph.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tsv") {
+		g, err := graph.ReadTSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewCollection(g), nil
+	}
+	if strings.HasSuffix(path, ".bin") {
+		return graph.ReadBinary(f)
+	}
+	src, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	var coll graph.Collection
+	for _, s := range prog.Stmts {
+		d, ok := s.(*ast.GraphDecl)
+		if !ok {
+			return nil, fmt.Errorf("%s: documents may contain only graph literals", path)
+		}
+		g, err := d.ToGraph()
+		if err != nil {
+			return nil, err
+		}
+		coll = append(coll, g)
+	}
+	return coll, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gqlshard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -244,6 +244,45 @@ func renderTrace(w io.Writer, res *exec.StreamResult) {
 	if len(pc.Rows) > 0 {
 		fmt.Fprint(w, pc.Format())
 	}
+
+	// Remote shard fan-out, when a cluster selector served the query: one
+	// row per shard RPC (the coordinator's shard-rpc child spans), showing
+	// which endpoint answered and whether retries, hedging, a resync or
+	// allow-partial degradation were involved.
+	sh := &stats.Table{
+		Title:   "// shards",
+		Headers: []string{"shard", "endpoint", "attempts", "wall_ms", "flags"},
+	}
+	res.Trace.Walk(func(_ int, sp *obs.Span) {
+		if sp.Name != "shard-rpc" {
+			return
+		}
+		endpoint := "?"
+		for _, a := range sp.Attrs() {
+			if a.Key == "endpoint" {
+				endpoint = a.Val
+			}
+		}
+		var flags []string
+		if sp.Count("hedged") > 0 {
+			flags = append(flags, "hedged")
+		}
+		if sp.Count("hedge_won") > 0 {
+			flags = append(flags, "hedge-won")
+		}
+		if sp.Count("resynced") > 0 {
+			flags = append(flags, "resynced")
+		}
+		if sp.Count("degraded") > 0 {
+			flags = append(flags, "degraded")
+		}
+		sh.AddRow(fmt.Sprint(sp.Count("shard")), endpoint,
+			fmt.Sprint(sp.Count("attempts")),
+			stats.FmtMs(float64(sp.Count("wall_us"))/1000), strings.Join(flags, ","))
+	})
+	if len(sh.Rows) > 0 {
+		fmt.Fprint(w, sh.Format())
+	}
 }
 
 // reductionCell renders the candidate-count reduction refined/baseline in

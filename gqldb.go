@@ -43,6 +43,7 @@ import (
 	"gqldb/internal/pattern"
 	"gqldb/internal/reach"
 	"gqldb/internal/server"
+	"gqldb/internal/shardsrv"
 	"gqldb/internal/store"
 )
 
@@ -135,6 +136,26 @@ type (
 	// ShardSelector evaluates selection over one store shard — the seam a
 	// multi-process deployment implements with an RPC shard client.
 	ShardSelector = store.ShardSelector
+	// RemoteSelector is the multi-process ShardSelector: it fans shard
+	// requests to gqlshard endpoints over the store wire protocol, with
+	// per-attempt timeouts, bounded retry rotation across replicas,
+	// optional hedging, a stale-mirror resync handshake and explicit
+	// partial-failure degradation. Set it on Engine.Selector to turn an
+	// embedded engine into a cluster frontend.
+	RemoteSelector = store.RemoteSelector
+	// ShardHealth is one shard endpoint's last-probe state, surfaced on
+	// the server's /healthz.
+	ShardHealth = store.ShardHealth
+	// ShardError is the per-shard failure report of a remote selection
+	// (errors.As target): endpoint, document, shard ordinal, attempts.
+	ShardError = store.ShardError
+	// ShardServer is the shard-server side of the multi-process read path
+	// (the cmd/gqlshard handler): it mirrors documents, answers per-shard
+	// selection jobs over the wire protocol and converges via /shard/sync.
+	ShardServer = shardsrv.Server
+	// ShardServerConfig configures a ShardServer (partition width, index
+	// length, body cap, worker cap).
+	ShardServerConfig = shardsrv.Config
 	// QueryParseError marks an Engine.RunQuery failure as a syntax error in
 	// the program source (errors.As target).
 	QueryParseError = exec.ParseError
@@ -512,6 +533,17 @@ func MetricsHandler() http.Handler { return obs.Handler() }
 // GET /metrics, GET /debug/vars and GET /healthz; pair it with
 // Server.Drain for signal-driven graceful shutdown (see cmd/gqlserver).
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewRemoteSelector returns a multi-process shard selector over the given
+// gqlshard base URLs; configure with its Set* knobs before serving and set
+// it on Engine.Selector.
+func NewRemoteSelector(endpoints []string) *RemoteSelector {
+	return store.NewRemoteSelector(endpoints)
+}
+
+// NewShardServer returns a shard server (the cmd/gqlshard handler) with an
+// empty document mirror.
+func NewShardServer(cfg ShardServerConfig) *ShardServer { return shardsrv.New(cfg) }
 
 // MetricsSnapshot returns the current value of every process-wide metric:
 // counters as int64, histograms as {count, sum_seconds} maps.

@@ -15,6 +15,10 @@ var ctxPollPkgs = []string{
 	"internal/match",
 	"internal/algebra",
 	"internal/pool",
+	// The store runs the shard coordinator's merge loop and the remote
+	// selector's retry loop: both iterate per-shard work that must die
+	// with the query's context.
+	"internal/store",
 }
 
 // ctxPollFuncs are repo functions that ARE a cancellation poll: calling

@@ -46,6 +46,12 @@ var timingSinkTypes = map[string]bool{
 	// The streaming return clause carries its operator start time across
 	// chunk flushes; the value only ever feeds RecordOp and the span.
 	"internal/exec.rowEmitter": true,
+	// RemoteInfo carries per-RPC wall time and attempt counts for the
+	// EXPLAIN shard table and the coordinator's shard-rpc spans; result
+	// groups never read it.
+	"internal/store.RemoteInfo": true,
+	// ShardHealth timestamps each probe for /healthz; never result data.
+	"internal/store.ShardHealth": true,
 }
 
 // randConstructors are the math/rand functions that build a seeded,

@@ -30,6 +30,13 @@ var unsafeInGoroutine = map[string]map[string]bool{
 	// Same contract for the search-plan cache: Get/Put are locked and
 	// worker-safe, SetCapacity is startup-only.
 	"internal/match.PlanCache": {"SetCapacity": true},
+	// The remote selector's tuning knobs write plain fields read by every
+	// in-flight SelectShard call: startup-only by contract, before the
+	// selector is handed to an engine. Probe/Health stay off this list —
+	// the health slice is mutex-guarded.
+	"internal/store.RemoteSelector": {
+		"SetTimeout": true, "SetRetries": true, "SetHedgeAfter": true, "SetAllowPartial": true,
+	},
 	// The streaming pipeline's sinks and emitters mutate receiver state
 	// (row buffers, ordinals, flush clocks) without locks: Emit runs on the
 	// query's coordinating goroutine by contract, never from pool workers.

@@ -107,3 +107,36 @@ func CoordinatedBuild(b *DocBuilder, c *Cache) {
 	b.Add("G2")
 	c.SetCapacity(8)
 }
+
+// RemoteSelector mimics the cluster selector's startup-only tuning
+// surface: the setters write plain fields read by every in-flight
+// SelectShard call.
+type RemoteSelector struct {
+	retries      int
+	allowPartial bool
+}
+
+// SetRetries writes an unguarded field: startup-only by contract.
+func (r *RemoteSelector) SetRetries(n int) { r.retries = n }
+
+// SetAllowPartial writes an unguarded field: startup-only by contract.
+func (r *RemoteSelector) SetAllowPartial(v bool) { r.allowPartial = v }
+
+// RacyTune reconfigures a selector already shared with querying
+// goroutines: both flagged.
+func RacyTune(r *RemoteSelector) {
+	ch := make(chan struct{})
+	go func() {
+		r.SetRetries(0)         // want:gosafe `non-thread-safe internal/store.RemoteSelector.SetRetries`
+		r.SetAllowPartial(true) // want:gosafe `non-thread-safe internal/store.RemoteSelector.SetAllowPartial`
+		close(ch)
+	}()
+	<-ch
+}
+
+// StartupTune configures the selector before any query can hold it:
+// allowed.
+func StartupTune(r *RemoteSelector) {
+	r.SetRetries(2)
+	r.SetAllowPartial(false)
+}

@@ -525,7 +525,10 @@ func (env *environment) selectDoc(ctx context.Context, fsp *obs.Span, d *store.D
 	if !legacy {
 		cix = d.Index() // nil for sharded or unindexed documents
 	}
-	if d.Sharded() && !legacy {
+	// A configured Selector routes even single-shard documents through the
+	// coordinator: with a remote selector that is the whole point — the
+	// shard servers evaluate, this process only merges.
+	if (d.Sharded() || engine.Selector != nil) && !legacy {
 		co := &store.Coordinator{Selector: engine.Selector}
 		return co.Select(ctx, d, p, opts, engine.IxFor, workers, env.stats)
 	}

@@ -409,7 +409,9 @@ func (env *environment) selectDocStream(ctx context.Context, fsp *obs.Span, d *s
 	if !legacy {
 		cix = d.Index()
 	}
-	if d.Sharded() && !legacy {
+	// Same selector routing as selectDoc: a configured Selector (e.g. the
+	// remote shard client) takes even single-shard documents.
+	if (d.Sharded() || engine.Selector != nil) && !legacy {
 		co := &store.Coordinator{Selector: engine.Selector}
 		return co.SelectStream(ctx, d, p, opts, engine.IxFor, workers, env.stats, emit)
 	}

@@ -211,6 +211,39 @@ var (
 	StreamFlushes = newCounter("gqldb_stream_flushes_total", "forced flushes of streamed HTTP responses")
 	// BatchQueries counts programs executed through the v2 batch endpoint.
 	BatchQueries = newCounter("gqldb_batch_queries_total", "programs executed via the v2 batch endpoint")
+	// ShardRPCs counts shard selection requests issued by the remote
+	// selector (every attempt, including retries and hedges).
+	ShardRPCs = newCounter("gqldb_shard_rpcs_total", "shard selection requests issued by the remote selector")
+	// ShardRPCErrors counts shard selection attempts that failed (transport
+	// errors, error frames, malformed streams).
+	ShardRPCErrors = newCounter("gqldb_shard_rpc_errors_total", "failed shard selection attempts")
+	// ShardRetries counts selection attempts beyond the first for a shard
+	// (the bounded-retry path after a failed or stale attempt).
+	ShardRetries = newCounter("gqldb_shard_retries_total", "shard selection retries after a failed attempt")
+	// ShardHedges counts hedge requests fired at a replica after the
+	// primary exceeded the hedge delay.
+	ShardHedges = newCounter("gqldb_shard_hedges_total", "hedge requests fired at a shard replica")
+	// ShardHedgeWins counts hedged selections where the replica answered
+	// first.
+	ShardHedgeWins = newCounter("gqldb_shard_hedge_wins_total", "hedged shard selections won by the replica")
+	// ShardResyncs counts documents pushed to a shard server after a stale
+	// version handshake (the read-replica convergence path).
+	ShardResyncs = newCounter("gqldb_shard_resyncs_total", "documents pushed to stale shard servers")
+	// ShardPartialResults counts shards dropped from an answer under the
+	// explicit allow-partial degradation mode.
+	ShardPartialResults = newCounter("gqldb_shard_partial_results_total", "shards dropped from answers under allow-partial")
+	// ShardProbeFailures counts failed background health probes of shard
+	// endpoints.
+	ShardProbeFailures = newCounter("gqldb_shard_probe_failures_total", "failed shard endpoint health probes")
+	// ShardSelections counts shard selection jobs served by the shard
+	// server's /shard/select handler.
+	ShardSelections = newCounter("gqldb_shard_selections_total", "selection jobs served by the shard server")
+	// ShardStaleRejections counts selection jobs the shard server rejected
+	// over the version handshake (content hash mismatch or unknown doc).
+	ShardStaleRejections = newCounter("gqldb_shard_stale_rejections_total", "selection jobs rejected by the shard version handshake")
+	// ShardSyncs counts documents installed via the shard server's
+	// /shard/sync handler.
+	ShardSyncs = newCounter("gqldb_shard_syncs_total", "documents installed via shard sync")
 	// QuerySeconds is the end-to-end program latency distribution.
 	QuerySeconds = newHistogram("gqldb_query_seconds", "program wall time")
 	// SelectionSeconds is the per-selection-operator latency distribution.

@@ -122,7 +122,11 @@ func (p *Pattern) Compile() error {
 		return fmt.Errorf("pattern: %s: malformed motif: %w", p.Name, err)
 	}
 	// Attribute tuples on motif elements become equality conjuncts; tags
-	// become tag requirements.
+	// become tag requirements. The derived conjuncts go into a local copy so
+	// p.where keeps exactly the construction-time predicates — WhereSource
+	// serializes those, and the wire decoder re-derives the tuple conjuncts
+	// from the tuples themselves.
+	where := append([]expr.Expr(nil), p.where...)
 	for _, n := range p.Motif.Nodes() {
 		if n.Attrs == nil {
 			continue
@@ -130,7 +134,7 @@ func (p *Pattern) Compile() error {
 		p.NodeTag[n.ID] = n.Attrs.Tag
 		for i := 0; i < n.Attrs.Len(); i++ {
 			a := n.Attrs.At(i)
-			p.where = append(p.where, expr.Binary{
+			where = append(where, expr.Binary{
 				Op: expr.OpEq,
 				L:  expr.Name{Parts: []string{n.Name, a.Name}},
 				R:  expr.Lit{Val: a.Val},
@@ -143,7 +147,7 @@ func (p *Pattern) Compile() error {
 		}
 		for i := 0; i < e.Attrs.Len(); i++ {
 			a := e.Attrs.At(i)
-			p.where = append(p.where, expr.Binary{
+			where = append(where, expr.Binary{
 				Op: expr.OpEq,
 				L:  expr.Name{Parts: []string{e.Name, a.Name}},
 				R:  expr.Lit{Val: a.Val},
@@ -151,7 +155,7 @@ func (p *Pattern) Compile() error {
 		}
 	}
 	var global []expr.Expr
-	for _, w := range p.where {
+	for _, w := range where {
 		for _, c := range expr.Conjuncts(w) {
 			if !p.pushDown(c) {
 				global = append(global, c)
@@ -279,6 +283,22 @@ func (p *Pattern) validate() error {
 
 // Size returns the number of motif nodes.
 func (p *Pattern) Size() int { return p.Motif.NumNodes() }
+
+// WhereSource renders the construction-time predicates (AddNode/AddEdge
+// where clauses, already qualified with their element names, plus every
+// Where call) as one parseable expression — the pattern's predicate "by
+// source text" for the multi-process wire protocol. Tuple-derived equality
+// conjuncts are NOT included: the wire carries the tuples themselves, and
+// the receiving side's Compile re-derives identical conjuncts in identical
+// order, so a round-tripped pattern compiles to the same plan inputs as
+// the original. Returns "" when the pattern has no predicates.
+func (p *Pattern) WhereSource() string {
+	e := expr.And(p.where...)
+	if e == nil {
+		return ""
+	}
+	return e.String()
+}
 
 // tupleEnv resolves bare attribute names against one tuple. It is a named
 // pointer type so converting it to expr.Env stores the tuple pointer

@@ -243,19 +243,19 @@ func TestServerBlackBox(t *testing.T) {
 	case <-time.After(12 * time.Second):
 		t.Fatal("pinned query got no response during drain")
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
+	// Await the scanner's EOF before cmd.Wait: Wait tears down the stderr
+	// pipe, and calling it while the scanner still drains can discard the
+	// buffered tail of the log — exactly where the drain markers live. EOF
+	// arrives at process exit, so this doubles as the exit wait.
+	var logs string
 	select {
-	case err := <-done:
-		if err != nil {
-			// The process has exited, so the stderr scanner has hit EOF and
-			// the full log is available for the diagnosis.
-			t.Fatalf("gqlserver exited non-zero: %v\nserver logs:\n%s", err, <-logc)
-		}
+	case logs = <-logc:
 	case <-time.After(12 * time.Second):
 		t.Fatal("gqlserver did not exit within the grace period")
 	}
-	logs := <-logc
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gqlserver exited non-zero: %v\nserver logs:\n%s", err, logs)
+	}
 	for _, frag := range []string{"draining", "final metrics snapshot", "gqldb_queries_total", "drained cleanly"} {
 		if !strings.Contains(logs, frag) {
 			t.Errorf("server log missing %q:\n%s", frag, logs)

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,9 +16,12 @@ import (
 	"strings"
 	"time"
 
+	"gqldb/internal/ast"
 	"gqldb/internal/exec"
+	"gqldb/internal/graph"
 	"gqldb/internal/match"
 	"gqldb/internal/obs"
+	"gqldb/internal/parser"
 	"gqldb/internal/store"
 )
 
@@ -205,6 +209,7 @@ func (s *Server) runRequest(w *statusWriter, r *http.Request, trace bool) (*exec
 // are counted here so both surfaces feed one metric.
 func (s *Server) errorFor(req queryRequest, err error) (status int, code, msg string) {
 	var parseErr *exec.ParseError
+	var shardErr *store.ShardError
 	switch {
 	case errors.As(err, &parseErr):
 		return http.StatusBadRequest, "parse_error", parseErr.Error()
@@ -214,6 +219,8 @@ func (s *Server) errorFor(req queryRequest, err error) (status int, code, msg st
 			fmt.Sprintf("query exceeded its deadline of %v", s.timeout(req))
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable, "canceled", "query canceled: " + err.Error()
+	case errors.As(err, &shardErr):
+		return http.StatusBadGateway, "shard_error", err.Error()
 	default:
 		return http.StatusUnprocessableEntity, "eval_error", err.Error()
 	}
@@ -297,6 +304,10 @@ type healthResponse struct {
 	// PlanCache is the plan cache's counter snapshot, present when plan
 	// caching is enabled.
 	PlanCache *match.PlanCacheStats `json:"plan_cache,omitempty"`
+	// Shards is the per-endpoint health of the remote shard cluster,
+	// present when the engine routes selection through a health-reporting
+	// selector (store.RemoteSelector).
+	Shards []store.ShardHealth `json:"shards,omitempty"`
 }
 
 // handleHealthz serves GET /healthz: 200 ok while accepting, 503 once
@@ -318,10 +329,63 @@ func (s *Server) handleHealthz(w *statusWriter, r *http.Request) {
 		stats := s.engine.Plans.Stats()
 		out.PlanCache = &stats
 	}
+	if hs, ok := s.engine.Selector.(interface{ Health() []store.ShardHealth }); ok {
+		out.Shards = hs.Health()
+	}
 	status := http.StatusOK
 	if s.draining.Load() {
 		out.Status = "draining"
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, out)
+}
+
+// handleAdminDoc serves POST /admin/doc?name=NAME (mounted only under
+// Config.Admin): register a document over HTTP. The body is a binary
+// collection (Content-Type application/octet-stream) or a sequence of
+// graph literals in the language's text syntax. The version bump
+// propagates exactly as Server.RegisterDoc: in-flight queries finish on
+// their snapshot, the result cache invalidates, and remote shard mirrors
+// go stale until the next query's handshake resyncs them.
+func (s *Server) handleAdminDoc(w *statusWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing name parameter")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("document body over the %d byte cap", s.cfg.MaxBody))
+		return
+	}
+	var coll graph.Collection
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		coll, err = graph.ReadBinary(bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "malformed binary collection: "+err.Error())
+			return
+		}
+	} else {
+		prog, perr := parser.Parse(string(body))
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "parsing document: "+perr.Error())
+			return
+		}
+		for _, st := range prog.Stmts {
+			d, ok := st.(*ast.GraphDecl)
+			if !ok {
+				writeError(w, http.StatusBadRequest, "bad_request", "documents may contain only graph literals")
+				return
+			}
+			g, gerr := d.ToGraph()
+			if gerr != nil {
+				writeError(w, http.StatusBadRequest, "bad_request", gerr.Error())
+				return
+			}
+			coll = append(coll, g)
+		}
+	}
+	v := s.RegisterDoc(name, coll)
+	writeJSON(w, http.StatusOK, map[string]any{"doc": name, "graphs": len(coll), "version": v})
 }

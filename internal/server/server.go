@@ -79,6 +79,10 @@ type Config struct {
 	// MaxBatch caps the number of programs one /v2/batch request may
 	// carry. Default: 16.
 	MaxBatch int
+	// Admin mounts the mutating admin surface (POST /admin/doc — register
+	// a document over HTTP). Off by default: the admin surface is for
+	// trusted operators and cluster tests, not the query plane.
+	Admin bool
 }
 
 // AccessRecord is one structured access-log line.
@@ -169,6 +173,9 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /healthz", s.wrap("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", obs.Handler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	if cfg.Admin {
+		s.mux.Handle("POST /admin/doc", s.wrap("/admin/doc", s.handleAdminDoc))
+	}
 	return s
 }
 

@@ -73,7 +73,7 @@ func (c *Cache) SetCapacity(n int) {
 		n = 1
 	}
 	c.capacity = n
-	for c.order.Len() > c.capacity {
+	for c.order.Len() > c.capacity { //gqlvet:ignore ctxpoll -- shrinks the LRU by one per iteration; bounded by entry count, not data
 		c.evictOldest()
 	}
 }
@@ -118,7 +118,7 @@ func (c *Cache) Put(key CacheKey, val any) {
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
-	for c.order.Len() > c.capacity {
+	for c.order.Len() > c.capacity { //gqlvet:ignore ctxpoll -- evicts one entry per iteration; bounded by the capacity overshoot
 		c.evictOldest()
 		c.evictions++
 		obs.CacheEvictions.Inc()

@@ -26,6 +26,12 @@ type ShardRequest struct {
 	IxFor func(*graph.Graph) *match.Index
 	// Workers bounds the shard-local fan-out (resolved, >= 1).
 	Workers int
+	// Doc is the owning document and Index the shard's ordinal in
+	// Doc.Shards(). The Coordinator fills both; LocalSelector ignores them,
+	// the remote selector needs them for the wire request (document name,
+	// partition width, version handshake) and endpoint routing.
+	Doc   *Doc
+	Index int
 }
 
 // ShardResult is one shard's answer: per-member match groups plus the
@@ -38,6 +44,35 @@ type ShardResult struct {
 	// Candidates is how many member graphs survived the shard-index filter
 	// and were actually verified.
 	Candidates int
+	// Remote describes how a remote selector obtained this answer (nil for
+	// in-process results); the coordinator turns it into a per-shard trace
+	// span so EXPLAIN can show the fan-out.
+	Remote *RemoteInfo
+}
+
+// Group returns the bindings of shard-local member li (nil when it matched
+// nothing). The returned slice aliases the result's shared backing —
+// callers must treat it as read-only; the engine layer owns cloning.
+func (r *ShardResult) Group(li int) algebra.Matched { return r.Groups[li] }
+
+// RemoteInfo records how a remote selector answered one shard request.
+type RemoteInfo struct {
+	// Endpoint is the shard server that produced the answer.
+	Endpoint string
+	// Attempts is the total request attempts (1 = first try succeeded).
+	Attempts int
+	// Hedged reports whether a hedge request fired; HedgeWon whether the
+	// replica's answer was the one used.
+	Hedged   bool
+	HedgeWon bool
+	// Resynced reports whether the stale-version handshake pushed the
+	// document to the shard before the answer.
+	Resynced bool
+	// Degraded reports an allow-partial empty answer after all attempts
+	// failed (the shard's matches are missing from the result).
+	Degraded bool
+	// Wall is the end-to-end time spent obtaining the answer.
+	Wall time.Duration
 }
 
 // ShardSelector evaluates selection over a single shard. This interface is
@@ -184,7 +219,7 @@ func (co *Coordinator) SelectStream(ctx context.Context, d *Doc, p *pattern.Patt
 	results := make([]ShardResult, len(shards))
 	go func() {
 		perr <- pool.Run(fanCtx, len(shards), outer, func(i int) error {
-			req := ShardRequest{Shard: shards[i], P: p, Opt: opt, IxFor: ixFor, Workers: inner}
+			req := ShardRequest{Shard: shards[i], P: p, Opt: opt, IxFor: ixFor, Workers: inner, Doc: d, Index: i}
 			res, err := sel.SelectShard(fanCtx, req)
 			if err != nil {
 				return err
@@ -202,7 +237,7 @@ func (co *Coordinator) SelectStream(ctx context.Context, d *Doc, p *pattern.Patt
 	// advance emits every ordinal whose owning shard has reported, in
 	// ascending canonical order — exactly the serial-scan sequence.
 	advance := func() error {
-		for frontier < d.Len() && ready[ordShard[frontier]] {
+		for frontier < d.Len() && ready[ordShard[frontier]] { //gqlvet:ignore ctxpoll -- frontier advances every iteration; bounded by the document's member count
 			group := results[ordShard[frontier]].Groups[ordLocal[frontier]]
 			frontier++
 			if len(group) == 0 {
@@ -218,13 +253,36 @@ func (co *Coordinator) SelectStream(ctx context.Context, d *Doc, p *pattern.Patt
 	arrived := func(si int) error {
 		ready[si] = true
 		candidates += results[si].Candidates
+		// Remote answers get a per-shard child span. arrived runs on the
+		// coordinator goroutine (the merge loop), so the coordinator-only
+		// span mutators are safe here — workers must not touch sp.
+		if ri := results[si].Remote; ri != nil && sp != nil {
+			child := sp.StartChild("shard-rpc")
+			child.Add("shard", int64(si))
+			child.Add("attempts", int64(ri.Attempts))
+			child.Add("wall_us", ri.Wall.Microseconds())
+			if ri.Hedged {
+				child.Add("hedged", 1)
+			}
+			if ri.HedgeWon {
+				child.Add("hedge_won", 1)
+			}
+			if ri.Resynced {
+				child.Add("resynced", 1)
+			}
+			if ri.Degraded {
+				child.Add("degraded", 1)
+			}
+			child.SetAttr("endpoint", ri.Endpoint)
+			child.End()
+		}
 		return advance()
 	}
 
 	remaining := len(shards)
 	poolDone := false
 	var poolErr, emitErr error
-	for remaining > 0 && emitErr == nil && !poolDone {
+	for remaining > 0 && emitErr == nil && !poolDone { //gqlvet:ignore ctxpoll -- every iteration retires a shard or ends the pool; the blocking receives resolve because pool.Run itself polls the fan-out ctx
 		select {
 		case si := <-doneCh:
 			remaining--
@@ -234,7 +292,7 @@ func (co *Coordinator) SelectStream(ctx context.Context, d *Doc, p *pattern.Patt
 			// Completion signals that raced the pool's return are buffered;
 			// drain them (a failed pool leaves some shards unsignaled — the
 			// default arm ends the drain).
-			for remaining > 0 && emitErr == nil {
+			for remaining > 0 && emitErr == nil { //gqlvet:ignore ctxpoll -- non-blocking drain; the default arm zeroes remaining on the first empty read
 				select {
 				case si := <-doneCh:
 					remaining--

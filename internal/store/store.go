@@ -19,6 +19,7 @@
 package store
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
@@ -136,13 +137,14 @@ func (s *DocStore) install(name string, d *Doc) uint64 {
 	for k, v := range s.docs {
 		next[k] = v
 	}
+	s.version++
 	if d == nil {
 		delete(next, name)
 	} else {
+		d.version = s.version
 		next[name] = d
 	}
 	s.docs = next
-	s.version++
 	return s.version
 }
 
@@ -189,16 +191,49 @@ type Doc struct {
 	coll   graph.Collection
 	shards []*Shard
 
+	// version is the store version at which the document was installed
+	// (0 for documents built outside a store). Set by install before the
+	// document is published; immutable afterwards.
+	version uint64
+
 	// statsOnce guards the lazy attribute-inventory computation; the
 	// document itself is immutable after Build, so the computed stats are
 	// valid for the document's lifetime.
 	statsOnce sync.Once
 	stats     *DocStats
+
+	// hashOnce guards the lazy content-hash computation (ContentHash).
+	hashOnce sync.Once
+	hash     string
 }
 
 // Collection returns the document in canonical order. Callers must treat
 // it as read-only.
 func (d *Doc) Collection() graph.Collection { return d.coll }
+
+// Version returns the store version at which the document was installed
+// (0 for documents built outside a store). Reported in the multi-process
+// handshake for observability; ContentHash is the identity.
+func (d *Doc) Version() uint64 { return d.version }
+
+// ContentHash returns a deterministic hash of the document's canonical
+// collection — FNV-64a over the binary serialization, computed lazily once
+// (the document is immutable after Build). Two processes that loaded the
+// same graphs in the same order agree on the hash regardless of their
+// local store versions, so it is the identity the multi-process version
+// handshake compares: a RegisterDoc on the frontend changes the content,
+// the hash diverges from the shard's mirror, and the shard is resynced.
+func (d *Doc) ContentHash() string {
+	d.hashOnce.Do(func() {
+		h := fnv.New64a()
+		// WriteBinary on a hash never fails; a marshal error (impossible for
+		// in-memory graphs) would surface as a handshake mismatch, which is
+		// the safe direction.
+		_ = graph.WriteBinary(h, d.coll)
+		d.hash = fmt.Sprintf("%016x", h.Sum64())
+	})
+	return d.hash
+}
 
 // Len returns the number of member graphs.
 func (d *Doc) Len() int { return len(d.coll) }
