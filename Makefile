@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-server test-cluster race vet gqlvet fuzz-smoke bench-obs bench-store bench-vet bench-match bench-check check
+.PHONY: all build test test-server test-cluster test-walcrash race vet gqlvet fuzz-smoke bench-obs bench-store bench-vet bench-match bench-check check
 
 all: check
 
@@ -30,6 +30,14 @@ test-server:
 test-cluster:
 	$(GO) test ./internal/cluster -run TestClusterBlackBox -v
 
+## test-walcrash: durability gate — re-executes the test binary as a
+## child that applies mutation batches against a WAL-backed store, kills
+## it with SIGKILL mid-workload, reopens the directory and asserts the
+## recovered store is byte-identical (content hashes and per-graph
+## signatures) to an in-memory oracle replay of the acknowledged batches
+test-walcrash:
+	$(GO) test ./internal/store -run TestWALCrashRecovery -v
+
 ## race: run the tests under the race detector (includes the
 ## ParallelSelection work-stealing stress tests and the shared-engine
 ## HTTP handler stress in internal/server)
@@ -51,7 +59,8 @@ gqlvet:
 ## internal/parser, internal/sqlbase, internal/expr, internal/server or
 ## the internal/graph load paths
 fuzz-smoke:
-	$(GO) test ./internal/parser -run FuzzParse -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/parser -run 'FuzzParse$$' -fuzz 'FuzzParse$$' -fuzztime 10s
+	$(GO) test ./internal/parser -run FuzzParseMutation -fuzz FuzzParseMutation -fuzztime 10s
 	$(GO) test ./internal/graph -run FuzzReadBinary -fuzz FuzzReadBinary -fuzztime 5s
 	$(GO) test ./internal/graph -run FuzzReadTSV -fuzz FuzzReadTSV -fuzztime 5s
 	$(GO) test ./internal/sqlbase -run FuzzParseSQL -fuzz FuzzParseSQL -fuzztime 5s
@@ -70,12 +79,13 @@ bench-obs:
 		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
 
 ## bench-store: storage-layer guard — compiles and runs the sharded
-## fan-out and result-cache benchmarks (cache hits must be cheaper than
-## re-evaluation; the hit variant asserts the cache actually answered);
-## recorded in BENCH_store.json. The benchtime matches bench-check so
-## the recorded baseline and the gate measure under the same conditions.
+## fan-out, result-cache and write-path benchmarks (cache hits must be
+## cheaper than re-evaluation; incremental Apply and index maintenance
+## must beat the full rebuilds they replace); recorded in
+## BENCH_store.json. The benchtime matches bench-check so the recorded
+## baseline and the gate measure under the same conditions.
 bench-store:
-	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 100ms -count 5 -benchmem ./internal/store \
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit|BenchmarkApplyMutations|BenchmarkIncrementalIndex' -benchtime 100ms -count 5 -benchmem ./internal/store \
 		| $(GO) run ./cmd/benchjson -o BENCH_store.json
 
 ## bench-match: match hot-path guard — the plan-cache-hot run must beat
@@ -103,10 +113,10 @@ bench-vet:
 ## single preempted run cannot fake a regression; the whole-query obs
 ## suite stays out of the gate for the same reason.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit' -benchtime 100ms -count 5 -benchmem ./internal/store \
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSelection|BenchmarkCacheHit|BenchmarkApplyMutations|BenchmarkIncrementalIndex' -benchtime 100ms -count 5 -benchmem ./internal/store \
 		| $(GO) run ./cmd/benchjson -check BENCH_store.json
 	$(GO) test -run '^$$' -bench 'BenchmarkMatchPlanned|BenchmarkCompiledPredicate' -benchtime 100ms -count 5 -benchmem ./internal/match ./internal/expr \
 		| $(GO) run ./cmd/benchjson -check BENCH_match.json
 
 ## check: everything CI runs
-check: build vet gqlvet test test-server test-cluster race fuzz-smoke
+check: build vet gqlvet test test-server test-cluster test-walcrash race fuzz-smoke

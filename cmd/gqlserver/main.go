@@ -9,7 +9,7 @@
 //	    [-flush-interval 100ms] [-max-take N] \
 //	    [-selector http://host:port ...] [-shard-timeout 10s] \
 //	    [-shard-retries 2] [-shard-hedge-after 30ms] [-allow-partial] \
-//	    [-admin]
+//	    [-admin] [-wal DIR] [-wal-sync] [-checkpoint-every N]
 //
 // -selector (repeatable) turns the process into a cluster frontend:
 // selection fans out to the listed gqlshard endpoints over the store wire
@@ -17,8 +17,15 @@
 // (-shard-timeout), bounded retry rotation across replicas
 // (-shard-retries), optional hedging (-shard-hedge-after) and explicit
 // degradation (-allow-partial). Every endpoint's health is probed in the
-// background and reported on /healthz. -admin mounts POST /admin/doc for
-// runtime document registration (trusted operators only).
+// background and reported on /healthz. -admin mounts the write surface
+// (POST /admin/doc for runtime document registration, POST /v2/mutate for
+// mutation programs — trusted operators only).
+//
+// -wal DIR makes the store durable: mutation batches are fsynced into an
+// append-only write-ahead log under DIR before they are acknowledged
+// (-wal-sync=false trades that for speed), a checkpoint compacts the log
+// every -checkpoint-every batches, and a restart replays checkpoint + log
+// over the -doc bootstrap to reach the exact pre-crash store.
 //
 // -shards partitions every document into N hash shards whose selections fan
 // out concurrently and merge deterministically; -index-paths builds a
@@ -42,6 +49,8 @@
 //	POST /v2/batch {"queries": [...]}; several programs on one store
 //	               snapshot, one NDJSON stream tagged by query index
 //	GET  /v2/schema loaded docs, store version, attribute inventory
+//	POST /v2/mutate apply a mutation program as one all-or-nothing batch
+//	               (mounted under -admin; durable before 200 under -wal)
 //	GET  /metrics  Prometheus text dump
 //	GET  /debug/vars  expvar
 //	GET  /healthz  liveness, drain state, in-flight count
@@ -62,6 +71,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -127,10 +137,41 @@ func main() {
 	hedgeAfter := flag.Duration("shard-hedge-after", 0, "fire a duplicate shard RPC at the next replica after this delay (0 disables hedging)")
 	allowPartial := flag.Bool("allow-partial", false, "degrade a dead shard to an empty answer instead of failing the query")
 	probeEvery := flag.Duration("shard-probe-interval", 5*time.Second, "background health-probe interval for shard endpoints")
-	admin := flag.Bool("admin", false, "mount the mutating admin surface (POST /admin/doc)")
+	admin := flag.Bool("admin", false, "mount the mutating admin surface (POST /admin/doc, POST /v2/mutate)")
+	walDir := flag.String("wal", "", "durability directory; mutations append to a write-ahead log there and replay on restart")
+	walSync := flag.Bool("wal-sync", true, "fsync the WAL before acknowledging each mutation batch")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint the store and truncate the WAL every N batches (0 = default 256, negative disables)")
 	flag.Parse()
 
-	eng := exec.NewOver(store.New(store.Options{Shards: *shards, IndexMaxLen: *indexLen}))
+	// With -wal the store is durable: startup replays the log over the
+	// bootstrap documents, and every /v2/mutate batch is fsynced into the
+	// WAL before the 200 leaves the process. Documents then MUST come from
+	// -doc at startup (the deterministic bootstrap); runtime /admin/doc
+	// registrations are not WAL-logged and would make the next restart
+	// refuse to replay.
+	sopts := store.Options{Shards: *shards, IndexMaxLen: *indexLen}
+	var st store.Store
+	if *walDir != "" {
+		d, err := store.OpenDurable(sopts, store.DurableOptions{
+			Dir: *walDir, Sync: *walSync, CheckpointEvery: *checkpointEvery,
+			Bootstrap: bootstrapDocs(docs),
+		})
+		if err != nil {
+			fail("opening durable store: %v", err)
+		}
+		defer d.Close()
+		log.Printf("gqlserver: durable store at %s (version %d, %d WAL records)",
+			*walDir, d.Version(), d.WALRecords())
+		st = d
+	} else {
+		ds := store.New(sopts)
+		if err := bootstrapDocs(docs)(ds); err != nil {
+			fail("%v", err)
+		}
+		st = ds
+	}
+
+	eng := exec.NewOver(st)
 	if *cache > 0 {
 		eng.Cache = store.NewCache(*cache)
 	}
@@ -163,15 +204,6 @@ func main() {
 		MaxTake:       *maxTake,
 		Admin:         *admin,
 	})
-	for name, path := range docs {
-		coll, err := loadDoc(path)
-		if err != nil {
-			fail("loading %s: %v", path, err)
-		}
-		srv.RegisterDoc(name, coll)
-		log.Printf("gqlserver: loaded document %s from %s (%d graphs)", name, path, len(coll))
-	}
-
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail("listen %s: %v", *addr, err)
@@ -198,6 +230,35 @@ func main() {
 		log.Printf("gqlserver: drained cleanly")
 	case err := <-errc:
 		fail("serve: %v", err)
+	}
+}
+
+// bootstrapDocs returns the deterministic document bootstrap over the -doc
+// bindings: each is loaded and registered in sorted name order, skipping
+// names a durability checkpoint already restored — the contract
+// store.OpenDurable's recovery protocol needs to replay the WAL against a
+// reproducible baseline.
+func bootstrapDocs(docs docFlags) func(*store.DocStore) error {
+	return func(ds *store.DocStore) error {
+		names := make([]string, 0, len(docs))
+		for name := range docs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		present := ds.Snapshot()
+		for _, name := range names {
+			if _, ok := present.Doc(name); ok {
+				log.Printf("gqlserver: document %s restored from checkpoint", name)
+				continue
+			}
+			coll, err := loadDoc(docs[name])
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", docs[name], err)
+			}
+			ds.RegisterDoc(name, coll)
+			log.Printf("gqlserver: loaded document %s from %s (%d graphs)", name, docs[name], len(coll))
+		}
+		return nil
 	}
 }
 

@@ -27,6 +27,15 @@
 // an N-entry LRU result cache keyed on (canonical program, store
 // version) — mostly useful when piping several identical programs
 // through one shell invocation.
+//
+// Mutations: a program consisting solely of mutation statements (create
+// graph / drop graph / insert node / insert edge / delete node / delete
+// edge) is applied as one all-or-nothing batch and prints a commit
+// summary instead of result rows. -wal DIR makes those writes durable:
+// the batch is fsynced into a write-ahead log under DIR before the
+// summary prints, and the next invocation pointing at the same DIR
+// replays checkpoint + log over the -doc bootstrap, so mutations persist
+// across runs.
 package main
 
 import (
@@ -75,15 +84,54 @@ func main() {
 	cache := flag.Int("cache", 0, "result cache capacity in entries (0 disables; single-shot runs rarely benefit)")
 	planCache := flag.Int("plan-cache", 0, "search-plan cache capacity in entries (0 disables; pays off when one program repeats a pattern)")
 	indexLen := flag.Int("index-paths", 0, "per-shard path-feature index max length (0 disables)")
+	walDir := flag.String("wal", "", "durability directory; mutation programs append to a write-ahead log there and replay on the next run")
+	walSync := flag.Bool("wal-sync", true, "fsync the WAL before acknowledging each mutation batch")
 	flag.Parse()
 
-	ds := store.New(store.Options{Shards: *shards, IndexMaxLen: *indexLen})
-	for name, path := range docs {
-		coll, err := loadDoc(path)
-		if err != nil {
-			fail("loading %s: %v", path, err)
+	// Document bootstrap, shared by the plain and durable stores: sorted
+	// for determinism, skipping documents a durability checkpoint already
+	// restored.
+	bootstrap := func(ds *store.DocStore) error {
+		names := make([]string, 0, len(docs))
+		for name := range docs {
+			names = append(names, name)
 		}
-		ds.RegisterDoc(name, coll)
+		sort.Strings(names)
+		present := ds.Snapshot()
+		for _, name := range names {
+			if _, ok := present.Doc(name); ok {
+				continue
+			}
+			coll, err := loadDoc(docs[name])
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", docs[name], err)
+			}
+			ds.RegisterDoc(name, coll)
+		}
+		return nil
+	}
+
+	// With -wal the store is durable: this run starts from the previous
+	// run's mutations (checkpoint + WAL replay over the -doc bootstrap) and
+	// its own mutation programs are fsynced into the log before the summary
+	// prints.
+	sopts := store.Options{Shards: *shards, IndexMaxLen: *indexLen}
+	var st store.Store
+	if *walDir != "" {
+		d, err := store.OpenDurable(sopts, store.DurableOptions{
+			Dir: *walDir, Sync: *walSync, Bootstrap: bootstrap,
+		})
+		if err != nil {
+			fail("opening durable store: %v", err)
+		}
+		defer d.Close()
+		st = d
+	} else {
+		ds := store.New(sopts)
+		if err := bootstrap(ds); err != nil {
+			fail("%v", err)
+		}
+		st = ds
 	}
 
 	var src []byte
@@ -99,7 +147,7 @@ func main() {
 
 	mode, query := splitDirective(string(src))
 
-	e := exec.NewOver(ds)
+	e := exec.NewOver(st)
 	if *cache > 0 {
 		e.Cache = store.NewCache(*cache)
 	}
@@ -110,6 +158,18 @@ func main() {
 	e.SlowQuery = *slow
 	e.SlowQueryLog = func(r obs.SlowQueryRecord) { fmt.Fprintf(os.Stderr, "gqlshell: %s\n", r) }
 	e.Trace = mode != ""
+
+	// A program consisting solely of mutation statements routes down the
+	// write path: one all-or-nothing batch, a printed summary instead of
+	// result rows, and (under -wal) WAL durability before the summary.
+	if prog, perr := parser.Parse(query); perr == nil && ast.IsMutationProgram(prog) {
+		sum, err := e.Mutate(context.Background(), query)
+		if err != nil {
+			fail("%v", err)
+		}
+		printMutationSummary(sum)
+		return
+	}
 
 	// StreamQuery owns parsing (the parse phase is a child span of the
 	// traced run) and the result cache; result graphs print as the pipeline
@@ -142,6 +202,27 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "gqlshell: %d result graphs, %d variables\n", res.Rows, len(res.Vars))
+	}
+}
+
+// printMutationSummary prints a mutation batch's commit summary as one
+// comment line per non-zero counter.
+func printMutationSummary(sum *exec.MutationSummary) {
+	fmt.Printf("// applied %d mutation(s) at version %d\n", sum.Mutations, sum.Version)
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"graphs created", sum.GraphsCreated},
+		{"graphs dropped", sum.GraphsDropped},
+		{"nodes added", sum.NodesAdded},
+		{"edges added", sum.EdgesAdded},
+		{"nodes deleted", sum.NodesDeleted},
+		{"edges deleted", sum.EdgesDeleted},
+	} {
+		if c.n > 0 {
+			fmt.Printf("//   %s: %d\n", c.name, c.n)
+		}
 	}
 }
 

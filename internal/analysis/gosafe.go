@@ -30,6 +30,11 @@ var unsafeInGoroutine = map[string]map[string]bool{
 	// Same contract for the search-plan cache: Get/Put are locked and
 	// worker-safe, SetCapacity is startup-only.
 	"internal/match.PlanCache": {"SetCapacity": true},
+	// The write-ahead log serializes under the store writer lock, which
+	// its callers (Durable.ApplyBatch, checkpointing) hold by contract;
+	// Append and Reset write the file position and record counter without
+	// their own lock, so a bare goroutine call interleaves frames.
+	"internal/store.WAL": {"Append": true, "Reset": true},
 	// The remote selector's tuning knobs write plain fields read by every
 	// in-flight SelectShard call: startup-only by contract, before the
 	// selector is handed to an engine. Probe/Health stay off this list —

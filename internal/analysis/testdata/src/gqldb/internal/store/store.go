@@ -140,3 +140,36 @@ func StartupTune(r *RemoteSelector) {
 	r.SetRetries(2)
 	r.SetAllowPartial(false)
 }
+
+// WAL mimics the write-ahead log: Append and Reset advance the file
+// position and record counter under the store writer lock, which the
+// caller holds by contract.
+type WAL struct {
+	records int
+}
+
+// Append frames one batch: caller-locked by contract.
+func (w *WAL) Append(seq uint64) { w.records++ }
+
+// Reset truncates the log: caller-locked by contract.
+func (w *WAL) Reset() { w.records = 0 }
+
+// RacyWAL appends and truncates from a goroutine sharing the log without
+// the writer lock: both flagged.
+func RacyWAL(w *WAL) {
+	ch := make(chan struct{})
+	go func() {
+		w.Append(1) // want:gosafe `non-thread-safe internal/store.WAL.Append`
+		w.Reset()   // want:gosafe `non-thread-safe internal/store.WAL.Reset`
+		close(ch)
+	}()
+	<-ch
+}
+
+// CoordinatedWAL keeps the log on the coordinating (locked) goroutine:
+// allowed.
+func CoordinatedWAL(w *WAL) {
+	w.Append(1)
+	w.Append(2)
+	w.Reset()
+}

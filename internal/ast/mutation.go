@@ -1,0 +1,228 @@
+// Mutation statements: the declarative update surface over the document
+// store. The grammar mirrors BQL's minimal CREATE/DROP/INSERT/DELETE
+// shape, reusing the existing literal grammar (tuples, node/edge member
+// blocks) for attribute values and graph bodies:
+//
+//	create graph G [<tuple>] [{ node a <t>; edge e (a, b); }] in doc("D");
+//	drop graph G in doc("D");
+//	insert node N [<tuple>] into G in doc("D");
+//	insert edge E (a, b) [<tuple>] into G in doc("D");
+//	delete node N from G in doc("D");
+//	delete edge E from G in doc("D");
+//
+// Parsing stays pure: a MutationStmt is data, lowered to store mutations
+// by the exec layer. String renders a statement back to concrete syntax
+// such that render∘parse is idempotent (the fuzz round-trip invariant).
+package ast
+
+import (
+	"strconv"
+	"strings"
+
+	"gqldb/internal/graph"
+)
+
+// MutationKind discriminates the mutation statement forms.
+type MutationKind uint8
+
+// Mutation statement kinds.
+const (
+	MutCreateGraph MutationKind = iota
+	MutDropGraph
+	MutInsertNode
+	MutInsertEdge
+	MutDeleteNode
+	MutDeleteEdge
+)
+
+// String returns the statement's leading keywords.
+func (k MutationKind) String() string {
+	switch k {
+	case MutCreateGraph:
+		return "create graph"
+	case MutDropGraph:
+		return "drop graph"
+	case MutInsertNode:
+		return "insert node"
+	case MutInsertEdge:
+		return "insert edge"
+	case MutDeleteNode:
+		return "delete node"
+	case MutDeleteEdge:
+		return "delete edge"
+	}
+	return "?"
+}
+
+// MutationStmt is one parsed mutation statement. Fields beyond Kind, Doc
+// and Graph are populated per kind: Name is the node/edge being inserted
+// or deleted, From/To are insert-edge endpoints, Tuple carries attribute
+// literals, and Members is the create-graph literal body (simple node and
+// edge declarations only — validated at parse time).
+type MutationStmt struct {
+	Kind MutationKind
+	// Doc is the target document, the doc("...") argument.
+	Doc string
+	// Graph is the target graph name within the document.
+	Graph string
+	// Name is the node/edge name for insert/delete forms.
+	Name string
+	// From and To are the endpoint node names of an inserted edge.
+	From, To string
+	// Tuple holds attribute literals (create graph / insert node / insert
+	// edge). Values must be literal expressions; enforced at lowering.
+	Tuple *TupleDecl
+	// Members is the optional create-graph literal body.
+	Members []Member
+}
+
+func (*MutationStmt) isStmt() {}
+
+// String renders the statement back to parseable concrete syntax.
+func (m *MutationStmt) String() string {
+	var b strings.Builder
+	b.WriteString(m.Kind.String())
+	switch m.Kind {
+	case MutCreateGraph:
+		b.WriteByte(' ')
+		b.WriteString(m.Graph)
+		if m.Tuple != nil {
+			b.WriteByte(' ')
+			b.WriteString(m.Tuple.String())
+		}
+		if len(m.Members) > 0 {
+			b.WriteString(" {")
+			for _, mem := range m.Members {
+				b.WriteByte(' ')
+				b.WriteString(literalMemberString(mem))
+			}
+			b.WriteString(" }")
+		}
+	case MutDropGraph:
+		b.WriteByte(' ')
+		b.WriteString(m.Graph)
+	case MutInsertNode:
+		b.WriteByte(' ')
+		b.WriteString(m.Name)
+		if m.Tuple != nil {
+			b.WriteByte(' ')
+			b.WriteString(m.Tuple.String())
+		}
+		b.WriteString(" into ")
+		b.WriteString(m.Graph)
+	case MutInsertEdge:
+		b.WriteByte(' ')
+		b.WriteString(m.Name)
+		b.WriteString(" (")
+		b.WriteString(m.From)
+		b.WriteString(", ")
+		b.WriteString(m.To)
+		b.WriteByte(')')
+		if m.Tuple != nil {
+			b.WriteByte(' ')
+			b.WriteString(m.Tuple.String())
+		}
+		b.WriteString(" into ")
+		b.WriteString(m.Graph)
+	case MutDeleteNode, MutDeleteEdge:
+		b.WriteByte(' ')
+		b.WriteString(m.Name)
+		b.WriteString(" from ")
+		b.WriteString(m.Graph)
+	}
+	b.WriteString(" in doc(")
+	b.WriteString(strconv.Quote(m.Doc))
+	b.WriteString(");")
+	return b.String()
+}
+
+// String renders a tuple declaration: <tag name=value, ...>. Expression
+// values render through expr.Expr.String, which quotes strings and
+// parenthesizes operators, so the output reparses.
+func (t *TupleDecl) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(t.Tag)
+	for i, a := range t.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		} else if t.Tag != "" {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Name)
+		b.WriteByte('=')
+		b.WriteString(a.E.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// literalMemberString renders one simple member of a create-graph literal
+// body. The parser guarantees these are NodeDecl/EdgeDecl without where
+// clauses or dotted names.
+func literalMemberString(m Member) string {
+	var b strings.Builder
+	switch x := m.(type) {
+	case *NodeDecl:
+		b.WriteString("node")
+		if x.Name != "" {
+			b.WriteByte(' ')
+			b.WriteString(x.Name)
+		}
+		if x.Tuple != nil {
+			b.WriteByte(' ')
+			b.WriteString(x.Tuple.String())
+		}
+	case *EdgeDecl:
+		b.WriteString("edge")
+		if x.Name != "" {
+			b.WriteByte(' ')
+			b.WriteString(x.Name)
+		}
+		b.WriteString(" (")
+		b.WriteString(strings.Join(x.From, "."))
+		b.WriteString(", ")
+		b.WriteString(strings.Join(x.To, "."))
+		b.WriteByte(')')
+		if x.Tuple != nil {
+			b.WriteByte(' ')
+			b.WriteString(x.Tuple.String())
+		}
+	}
+	b.WriteByte(';')
+	return b.String()
+}
+
+// IsMutationProgram reports whether the program consists entirely of
+// mutation statements (and is non-empty) — the routing test the exec and
+// shell layers use to send a program down the write path.
+func IsMutationProgram(p *Program) bool {
+	if p == nil || len(p.Stmts) == 0 {
+		return false
+	}
+	for _, s := range p.Stmts {
+		if _, ok := s.(*MutationStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalTuple evaluates the statement's attribute tuple — literal values
+// only, as everywhere data is constructed — into a graph tuple. Nil when
+// the statement carries no tuple.
+func (m *MutationStmt) EvalTuple() (*graph.Tuple, error) {
+	return evalConstTuple(m.Tuple)
+}
+
+// BodyGraph lowers a create-graph member block (plus the statement's
+// tuple, which becomes the graph's attributes) into a concrete graph
+// named after the statement's target. Nil when the statement declared no
+// members.
+func (m *MutationStmt) BodyGraph() (*graph.Graph, error) {
+	if len(m.Members) == 0 {
+		return nil, nil
+	}
+	d := &GraphDecl{Name: m.Graph, Tuple: m.Tuple, Members: m.Members}
+	return d.ToGraph()
+}

@@ -306,6 +306,8 @@ func (env *environment) exec(s ast.Stmt) error {
 		return nil
 	case *ast.FLWRStmt:
 		return env.flwr(x)
+	case *ast.MutationStmt:
+		return fmt.Errorf("exec: %s is a mutation statement; run it through Engine.Mutate (or POST /v2/mutate)", x.Kind)
 	}
 	return fmt.Errorf("exec: unknown statement %T", s)
 }
@@ -455,7 +457,9 @@ func (env *environment) flwr(f *ast.FLWRStmt) error {
 	opts.Exhaustive = f.Exhaustive
 	if env.engine.Plans != nil {
 		opts.Plans = env.engine.Plans
-		opts.PlanEpoch = env.snap.Version()
+		// Fence plans on the document's version, not the store's: a mutation
+		// elsewhere must not invalidate plans over this document's graphs.
+		opts.PlanEpoch = d.Version()
 	}
 
 	var tmplDecl *ast.TemplateDecl

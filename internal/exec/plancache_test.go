@@ -62,66 +62,84 @@ func TestPlanCacheGridDeterminism(t *testing.T) {
 	}
 }
 
-// TestPlanCacheInvalidation pins the validity fence end-to-end: plans
-// cached against one store version must never shape results after a
-// RegisterDoc bump — the post-mutation query agrees byte-for-byte with a
-// fresh uncached engine over the new data.
+// TestPlanCacheInvalidation pins the validity fence end-to-end. Plans are
+// fenced per entry on the document version: mutating one graph in a
+// document invalidates the sibling graphs' cached plans on next probe
+// (their statistics are no longer known-valid), and plans cached against
+// replaced graphs must never shape results — the post-mutation query
+// agrees byte-for-byte with a fresh uncached engine over the new data.
 func TestPlanCacheInvalidation(t *testing.T) {
-	mk := func(label string) graph.Collection {
-		g := graph.New("G")
+	mkGraph := func(name, label string) *graph.Graph {
+		g := graph.New(name)
 		a := g.AddNode("a", graph.TupleOf("", "label", "A"))
 		b := g.AddNode("b", graph.TupleOf("", "label", label))
-		g.AddEdge("", a, b, nil)
-		return graph.NewCollection(g)
+		g.AddEdge("e", a, b, nil)
+		return g
 	}
 	prog, err := parser.Parse(stressQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 
 	ds := store.New(store.Options{Shards: 4})
-	ds.RegisterDoc("db", mk("B"))
+	ds.RegisterDoc("db", graph.NewCollection(mkGraph("G", "B"), mkGraph("H", "B")))
 	e := NewOver(ds)
 	e.Plans = match.NewPlanCache(16)
 
-	res1, err := e.RunContext(context.Background(), prog)
+	res1, err := e.RunContext(ctx, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res1.Out) != 1 {
-		t.Fatalf("pre-mutation: %d results, want 1", len(res1.Out))
+	if len(res1.Out) != 2 {
+		t.Fatalf("pre-mutation: %d results, want 2", len(res1.Out))
 	}
-	// Warm the cache, then mutate: B disappears, so the cached plan's
-	// feasible mates are stale — a reused plan would still find a match.
-	if _, err := e.RunContext(context.Background(), prog); err != nil {
+	// Warm the cache, then mutate H in place: B disappears from it, so its
+	// cached plan's feasible mates are stale — a reused plan would still
+	// find a match. G is untouched (same graph pointer), but its document
+	// moved, so its plan must be invalidated and recomputed on probe.
+	if _, err := e.RunContext(ctx, prog); err != nil {
 		t.Fatal(err)
 	}
-	ds.RegisterDoc("db", mk("C"))
-	res2, err := e.RunContext(context.Background(), prog)
+	if _, err := ds.ApplyBatch(ctx, []store.Mutation{
+		{Op: store.OpDeleteNode, Doc: "db", Graph: "H", Name: "b"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e.RunContext(ctx, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res2.Out) != 0 {
-		t.Fatalf("post-mutation: %d results, want 0 (stale plan reused?)", len(res2.Out))
+	if len(res2.Out) != 1 {
+		t.Fatalf("post-mutation: %d results, want 1 (stale plan reused?)", len(res2.Out))
 	}
 	if st := e.Plans.Stats(); st.Invalidations == 0 {
-		t.Errorf("no invalidation recorded across the version bump: %+v", st)
+		t.Errorf("no invalidation recorded across the document version bump: %+v", st)
 	}
-	// And mutating back re-plans against the new graphs, not the originals.
-	ds.RegisterDoc("db", mk("B"))
-	res3, err := e.RunContext(context.Background(), prog)
+	// A wholesale document replacement re-plans against the new graphs, not
+	// the originals.
+	ds.RegisterDoc("db", graph.NewCollection(mkGraph("G", "C")))
+	res3, err := e.RunContext(ctx, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := NewOver(ds).RunContext(context.Background(), prog)
+	if len(res3.Out) != 0 {
+		t.Fatalf("post-replacement: %d results, want 0", len(res3.Out))
+	}
+	ds.RegisterDoc("db", graph.NewCollection(mkGraph("G", "B"), mkGraph("H", "B")))
+	res4, err := e.RunContext(ctx, prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res3.Out) != len(fresh.Out) {
-		t.Fatalf("cached engine: %d results, fresh engine: %d", len(res3.Out), len(fresh.Out))
+	fresh, err := NewOver(ds).RunContext(ctx, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res4.Out) != len(fresh.Out) {
+		t.Fatalf("cached engine: %d results, fresh engine: %d", len(res4.Out), len(fresh.Out))
 	}
 	for i := range fresh.Out {
-		if res3.Out[i].Signature() != fresh.Out[i].Signature() {
+		if res4.Out[i].Signature() != fresh.Out[i].Signature() {
 			t.Fatalf("cached engine differs from fresh at %d", i)
 		}
 	}

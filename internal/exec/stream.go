@@ -19,7 +19,6 @@ import (
 	"context"
 	"errors"
 	"runtime"
-	"strings"
 	"time"
 
 	"gqldb/internal/algebra"
@@ -191,11 +190,7 @@ func (e *Engine) StreamQuery(ctx context.Context, src string, sink ResultSink, o
 	}
 	var key store.CacheKey
 	if e.Cache != nil {
-		key = store.CacheKey{
-			Program: canonicalProgram(src),
-			Docs:    strings.Join(docsOf(prog), "\x00"),
-			Version: snap.Version(),
-		}
+		key = store.KeyFor(canonicalProgram(src), snap, docsOf(prog))
 		if v, ok := e.Cache.Get(key); ok {
 			res, err := replayCached(root, v.(*cachedResult), st)
 			finish()

@@ -50,6 +50,108 @@ func Build(c graph.Collection, maxLen int) *Index {
 	return ix
 }
 
+// Update derives the index for a mutated collection incrementally: the
+// postings of graphs whose ordinals are in changed are recomputed (old
+// features subtracted, new features added), everything else is shared with
+// the receiver copy-on-write. coll must be the receiver's collection with
+// only the changed ordinals replaced or appended (len(coll) >= the indexed
+// length — drops force a full Build, ordinals shift). An ordinal at or
+// past len(coll) marks a pure removal of the old postings. The receiver is
+// not modified; the returned index is equivalent to Build(coll, MaxLen).
+func (ix *Index) Update(coll graph.Collection, changed []int32) *Index {
+	next := &Index{MaxLen: ix.MaxLen, coll: coll, postings: make(map[string]map[int32]int32, len(ix.postings))}
+	for f, m := range ix.postings {
+		next.postings[f] = m
+	}
+	// owned marks inner maps already cloned (or freshly created) for next;
+	// unowned maps still alias the receiver and must be copied before any
+	// write, so concurrent readers of the old index never see the delta.
+	owned := make(map[string]bool)
+	mutable := func(f string) map[int32]int32 {
+		m := next.postings[f]
+		if m == nil {
+			m = make(map[int32]int32)
+			next.postings[f] = m
+			owned[f] = true
+			return m
+		}
+		if owned[f] {
+			return m
+		}
+		cp := make(map[int32]int32, len(m)+1)
+		for k, v := range m {
+			cp[k] = v
+		}
+		next.postings[f] = cp
+		owned[f] = true
+		return cp
+	}
+	for _, ord := range changed {
+		if int(ord) < len(ix.coll) {
+			for f := range pathFeatures(ix.coll[ord], ix.MaxLen) {
+				m := mutable(f)
+				delete(m, ord)
+				if len(m) == 0 {
+					delete(next.postings, f)
+					delete(owned, f)
+				}
+			}
+		}
+		if int(ord) < len(coll) {
+			for f, n := range pathFeatures(coll[ord], ix.MaxLen) {
+				mutable(f)[ord] = n
+			}
+		}
+	}
+	return next
+}
+
+// Equal reports whether two indexes answer every candidate query
+// identically: same path length, same collection size and identical
+// non-zero postings. Empty inner maps and zero counts are normalized away
+// so an incrementally-updated index compares equal to a fresh Build.
+func (ix *Index) Equal(other *Index) bool {
+	if ix == nil || other == nil {
+		return ix == other
+	}
+	if ix.MaxLen != other.MaxLen || len(ix.coll) != len(other.coll) {
+		return false
+	}
+	norm := func(p map[string]map[int32]int32) map[string]map[int32]int32 {
+		out := make(map[string]map[int32]int32, len(p))
+		for f, m := range p {
+			for ord, n := range m {
+				if n == 0 {
+					continue
+				}
+				nm, ok := out[f]
+				if !ok {
+					nm = make(map[int32]int32, len(m))
+					out[f] = nm
+				}
+				nm[ord] = n
+			}
+		}
+		return out
+	}
+	a, b := norm(ix.postings), norm(other.postings)
+	if len(a) != len(b) {
+		return false
+	}
+	for f, m := range a {
+		om, ok := b[f]
+		if !ok || len(m) != len(om) {
+			return false
+		}
+		for ord, n := range m {
+			if om[ord] != n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // pathFeatures counts the label paths of length 0..maxLen edges in g.
 // Paths are simple (no repeated node) and counted once per direction-
 // normalized occurrence (a path and its reverse are the same feature for

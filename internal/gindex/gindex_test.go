@@ -269,3 +269,81 @@ func BenchmarkFilterVsScan(b *testing.B) {
 		}
 	})
 }
+
+func randomTestGraph(rng *rand.Rand, name string) *graph.Graph {
+	n := 2 + rng.Intn(4)
+	labels := make([]byte, n)
+	for i := range labels {
+		labels[i] = byte('A' + rng.Intn(3))
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Intn(3) == 0 {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return mkGraph(name, string(labels), edges)
+}
+
+// TestUpdateMatchesBuild drives Update through random replace/append
+// deltas and checks the incremental index is Equal to a from-scratch
+// Build at every step — and that old snapshots of the index are never
+// mutated by later updates.
+func TestUpdateMatchesBuild(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		coll := make(graph.Collection, 6)
+		for i := range coll {
+			coll[i] = randomTestGraph(rng, fmt.Sprintf("g%d", i))
+		}
+		ix := Build(coll, 2)
+		for step := 0; step < 30; step++ {
+			prev := ix
+			prevBuild := Build(prev.coll, 2)
+			next := make(graph.Collection, len(coll), len(coll)+1)
+			copy(next, coll)
+			var changed []int32
+			// Replace a random subset.
+			for ord := range next {
+				if rng.Intn(4) == 0 {
+					next[ord] = randomTestGraph(rng, fmt.Sprintf("g%d_%d", ord, step))
+					changed = append(changed, int32(ord))
+				}
+			}
+			// Sometimes append a new graph.
+			if rng.Intn(3) == 0 {
+				next = append(next, randomTestGraph(rng, fmt.Sprintf("a%d", step)))
+				changed = append(changed, int32(len(next)-1))
+			}
+			ix = ix.Update(next, changed)
+			coll = next
+			if want := Build(coll, 2); !ix.Equal(want) {
+				t.Fatalf("seed %d step %d: Update != Build", seed, step)
+			}
+			if !prev.Equal(prevBuild) {
+				t.Fatalf("seed %d step %d: Update mutated the previous index", seed, step)
+			}
+		}
+	}
+}
+
+func TestUpdateNoopAndEqualEdgeCases(t *testing.T) {
+	coll := graph.Collection{mkGraph("a", "AB", [][2]int{{0, 1}})}
+	ix := Build(coll, 2)
+	if up := ix.Update(coll, nil); !up.Equal(ix) {
+		t.Fatal("empty delta changed the index")
+	}
+	if ix.Equal(nil) {
+		t.Fatal("non-nil Equal nil")
+	}
+	var nilIx *Index
+	if !nilIx.Equal(nil) {
+		t.Fatal("nil must Equal nil")
+	}
+	other := Build(coll, 3)
+	if ix.Equal(other) {
+		t.Fatal("different MaxLen compared equal")
+	}
+}

@@ -89,6 +89,23 @@ func (b *binWriter) tuple(t *Tuple) {
 	}
 }
 
+// WriteTuple appends one tuple (possibly nil) to w in the GQLB tuple
+// encoding. It is the embeddable form of the codec: the store's WAL frames
+// mutation attributes with it. The caller owns flushing w.
+func WriteTuple(w *bufio.Writer, t *Tuple) error {
+	bw := &binWriter{w: w}
+	bw.tuple(t)
+	return bw.err
+}
+
+// ReadTuple decodes one tuple written by WriteTuple from r. Reading
+// through the caller's bufio.Reader keeps the stream position exact, so a
+// tuple can sit between other fields of an enclosing record.
+func ReadTuple(r *bufio.Reader) (*Tuple, error) {
+	br := &binReader{r: r}
+	return br.tuple()
+}
+
 // WriteBinary serializes a collection (use a one-element collection for a
 // single graph).
 func WriteBinary(w io.Writer, c Collection) error {

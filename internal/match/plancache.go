@@ -19,14 +19,17 @@ import (
 // search order, and the candidate-count statistics — keyed on the canonical
 // pattern shape, the data graph, and the planning-relevant options.
 //
-// Validity is statistics-fenced exactly like the result cache in
-// internal/store: the cache holds plans for a single epoch (the store
-// version of the snapshot the graphs came from), and any access carrying a
-// newer epoch purges everything older. Within one epoch the store's
-// copy-on-write discipline guarantees graphs are immutable, so a plan
-// computed once is valid for every later identical query. Callers outside
-// the store (direct Find users) must bump the epoch themselves whenever a
-// graph mutates; a constant epoch is only sound over immutable graphs.
+// Validity is statistics-fenced per entry: each cached plan records the
+// epoch it was computed under (the engine passes the version of the
+// document the graph belongs to), and a lookup hits only when its epoch
+// matches the entry's — a mismatch drops just that entry. Mutating one
+// document therefore invalidates only plans over that document's graphs;
+// plans over graphs of untouched documents stay live. Within one document
+// version the store's copy-on-write discipline guarantees graphs are
+// immutable, so a plan computed once is valid for every later identical
+// query. Callers outside the store (direct Find users) must change the
+// epoch themselves whenever a graph mutates; a constant epoch is only
+// sound over immutable graphs.
 
 // Plan is one cached planning result. Plans are shared across concurrent
 // searches and are immutable after Put: no holder may write through any of
@@ -139,16 +142,16 @@ type PlanCacheStats struct {
 	Capacity      int   `json:"capacity"`
 }
 
-// PlanCache is an LRU cache of search plans with invalidation-by-epoch: it
-// holds entries for exactly one statistics epoch at a time (the newest it
-// has seen), so an epoch bump — the store version moving forward —
-// implicitly purges every older plan on the next access. Get and Put are
-// safe for concurrent use; one cache is shared by every worker of every
-// selection fan-out.
+// PlanCache is an LRU cache of search plans with per-entry epoch fencing:
+// each plan is stored with the epoch it was computed under, and a lookup
+// whose epoch differs from the entry's drops that entry alone — there is
+// no global purge, so an epoch moving for one document's graphs leaves
+// every other document's plans untouched. Get and Put are safe for
+// concurrent use; one cache is shared by every worker of every selection
+// fan-out.
 type PlanCache struct {
 	mu       sync.Mutex
 	capacity int
-	epoch    uint64
 	order    *list.List // front = most recent; values are *planEntry
 	entries  map[PlanKey]*list.Element
 
@@ -156,8 +159,9 @@ type PlanCache struct {
 }
 
 type planEntry struct {
-	key  PlanKey
-	plan *Plan
+	key   PlanKey
+	epoch uint64
+	plan  *Plan
 }
 
 // NewPlanCache returns a cache holding at most capacity plans (min 1).
@@ -186,45 +190,52 @@ func (c *PlanCache) SetCapacity(n int) {
 	}
 }
 
-// Get returns the plan for key at the given epoch, if present and current.
-// An epoch newer than any seen purges the cache first; a lookup older than
-// the latest epoch can never hit. The returned plan is shared and must be
-// treated as read-only.
+// Get returns the plan for key, if present and computed under the same
+// epoch. An entry whose epoch differs from the lookup's is invalidated —
+// its statistics are no longer known-valid — and the lookup misses. The
+// returned plan is shared and must be treated as read-only.
 func (c *PlanCache) Get(epoch uint64, key PlanKey) (*Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.advance(epoch)
-	if epoch < c.epoch {
+	el, ok := c.entries[key]
+	if !ok {
 		c.miss()
 		return nil, false
 	}
-	el, ok := c.entries[key]
-	if !ok {
+	e := el.Value.(*planEntry)
+	if e.epoch != epoch {
+		if epoch > e.epoch {
+			// The document moved past the entry's epoch: its statistics are
+			// no longer known-valid, so drop it. An older lookup (a reader on
+			// a pre-mutation snapshot) merely misses — it must not evict a
+			// plan that is current for everyone else.
+			c.order.Remove(el)
+			delete(c.entries, key)
+			c.invalidations++
+			obs.PlanCacheInvalidations.Inc()
+		}
 		c.miss()
 		return nil, false
 	}
 	c.order.MoveToFront(el)
 	c.hits++
 	obs.PlanCacheHits.Inc()
-	return el.Value.(*planEntry).plan, true
+	return e.plan, true
 }
 
 // Put stores plan under key for the given epoch, evicting the
-// least-recently-used plan past capacity. Plans for epochs older than the
-// newest seen are discarded rather than stored.
+// least-recently-used plan past capacity. An existing entry for the key
+// is overwritten, adopting the new epoch.
 func (c *PlanCache) Put(epoch uint64, key PlanKey, plan *Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.advance(epoch)
-	if epoch < c.epoch {
-		return
-	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*planEntry).plan = plan
+		e := el.Value.(*planEntry)
+		e.plan, e.epoch = plan, epoch
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&planEntry{key: key, plan: plan})
+	c.entries[key] = c.order.PushFront(&planEntry{key: key, epoch: epoch, plan: plan})
 	for i := c.order.Len(); i > c.capacity; i-- {
 		c.evictOldest()
 		c.evictions++
@@ -244,21 +255,6 @@ func (c *PlanCache) Stats() PlanCacheStats {
 		Entries:       c.order.Len(),
 		Capacity:      c.capacity,
 	}
-}
-
-// advance moves the single live epoch forward, purging every held plan
-// when it does. Callers hold c.mu.
-func (c *PlanCache) advance(epoch uint64) {
-	if epoch <= c.epoch {
-		return
-	}
-	if c.order.Len() > 0 {
-		c.invalidations++
-		obs.PlanCacheInvalidations.Inc()
-		c.order.Init()
-		clear(c.entries)
-	}
-	c.epoch = epoch
 }
 
 // miss counts one miss. Callers hold c.mu.

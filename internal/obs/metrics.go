@@ -157,6 +157,21 @@ var (
 	// RemoveDoc); each one bumps the store version and invalidates the
 	// result cache.
 	StoreMutations = newCounter("gqldb_store_mutations_total", "versioned document store writes")
+	// MutationsApplied counts individual mutations committed through the
+	// transactional Apply path (a batch of N adds N).
+	MutationsApplied = newCounter("gqldb_mutations_applied_total", "mutations committed via transactional apply")
+	// StoreDocRebuilds counts documents repartitioned from scratch during
+	// a mutation commit (drops, fresh documents, shard-count changes).
+	StoreDocRebuilds = newCounter("gqldb_store_doc_rebuilds_total", "documents fully repartitioned during mutation commit")
+	// StoreShardRebuilds counts single shards rebuilt incrementally during
+	// a mutation commit (the node/edge delta fast path).
+	StoreShardRebuilds = newCounter("gqldb_store_shard_rebuilds_total", "shards rebuilt incrementally during mutation commit")
+	// WALAppends counts mutation batches appended to the write-ahead log.
+	WALAppends = newCounter("gqldb_wal_appends_total", "mutation batches appended to the WAL")
+	// WALReplayed counts mutation batches replayed from the WAL on open.
+	WALReplayed = newCounter("gqldb_wal_replayed_total", "mutation batches replayed from the WAL at recovery")
+	// WALCheckpoints counts snapshot checkpoints that truncated the WAL.
+	WALCheckpoints = newCounter("gqldb_wal_checkpoints_total", "snapshot checkpoints truncating the WAL")
 	// ShardedSelections counts selection operators fanned across document
 	// shards by the coordinator.
 	ShardedSelections = newCounter("gqldb_sharded_selections_total", "selections fanned across document shards")

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"gqldb/internal/ast"
 )
 
 // FuzzParse asserts the parser's total-function contract: any input, valid
@@ -41,5 +43,54 @@ func FuzzParse(f *testing.F) {
 		// The standalone expression entry point shares the token stream
 		// machinery; it must be panic-free on the same inputs.
 		_, _ = ParseExpr(src)
+	})
+}
+
+// FuzzParseMutation covers the mutation statement surface: no panics on
+// any input, and for every successfully parsed mutation statement the
+// parse/render round trip is idempotent — parsing a statement's String()
+// succeeds and yields a statement with the identical String(). A rendering
+// that fails to reparse, or drifts under reparsing, is a bug in either the
+// grammar or the renderer.
+func FuzzParseMutation(f *testing.F) {
+	f.Add(`create graph g1 in doc("db");`)
+	f.Add(`create graph g2 <person age=30> { node a <author name="Jo">; node b; edge e (a, b) <cites>; } in doc("db");`)
+	f.Add(`drop graph g1 in doc("db");`)
+	f.Add(`insert node n7 <author name="Kim", score=1.5> into g1 in doc("db");`)
+	f.Add(`insert edge e3 (a, b) <cites year=2008> into g1 in doc("db");`)
+	f.Add(`delete node n7 from g1 in doc("db");`)
+	f.Add(`delete edge e3 from g1 in doc("db");`)
+	f.Add(`insert node n <w=(1 + 2) * 3, neg=-4, f=0.25> into g in doc("d\n\"b");`)
+	f.Add(`create := graph {};`)
+	f.Add(`create graph g in doc("db"); delete node n from g in doc("db");`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		prog, err := Parse(src)
+		if err != nil || prog == nil {
+			return
+		}
+		for _, s := range prog.Stmts {
+			m, ok := s.(*ast.MutationStmt)
+			if !ok {
+				continue
+			}
+			r1 := m.String()
+			prog2, err := Parse(r1)
+			if err != nil {
+				t.Fatalf("rendering does not reparse: %v\nsrc: %q\nrendered: %q", err, src, r1)
+			}
+			if len(prog2.Stmts) != 1 {
+				t.Fatalf("rendering reparsed to %d statements\nrendered: %q", len(prog2.Stmts), r1)
+			}
+			m2, ok := prog2.Stmts[0].(*ast.MutationStmt)
+			if !ok {
+				t.Fatalf("rendering reparsed to %T\nrendered: %q", prog2.Stmts[0], r1)
+			}
+			if r2 := m2.String(); r1 != r2 {
+				t.Fatalf("round trip diverged\nsrc: %q\n r1: %q\n r2: %q", src, r1, r2)
+			}
+		}
 	})
 }

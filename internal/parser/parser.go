@@ -9,6 +9,7 @@ package parser
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"gqldb/internal/ast"
 	"gqldb/internal/expr"
@@ -148,8 +149,194 @@ func (p *Parser) stmt() (ast.Stmt, error) {
 			return nil, err
 		}
 		return &ast.AssignStmt{Name: name, Tmpl: t}, nil
+	// Mutation keywords are checked after the ":=" case so that
+	// `create := graph {};` stays an assignment to a variable named create.
+	case p.isKw("create"), p.isKw("drop"), p.isKw("insert"), p.isKw("delete"):
+		m, err := p.mutation()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 	return nil, p.errf("expected statement, found %s", p.cur())
+}
+
+// mutation ::= "create" "graph" ID [Tuple] [MemberBlock] DocRef
+//
+//	| "drop" "graph" ID DocRef
+//	| "insert" "node" ID [Tuple] "into" ID DocRef
+//	| "insert" "edge" ID "(" ID "," ID ")" [Tuple] "into" ID DocRef
+//	| "delete" ("node"|"edge") ID "from" ID DocRef
+//
+// DocRef ::= "in" "doc" "(" Str ")"
+func (p *Parser) mutation() (*ast.MutationStmt, error) {
+	m := &ast.MutationStmt{}
+	switch {
+	case p.eatKw("create"), p.eatKw("drop"):
+		drop := p.toks[p.pos-1].Text == "drop"
+		if !p.eatKw("graph") {
+			return nil, p.errf("expected 'graph' after '%s'", p.toks[p.pos-1].Text)
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		m.Graph = name
+		if drop {
+			m.Kind = ast.MutDropGraph
+			break
+		}
+		m.Kind = ast.MutCreateGraph
+		if p.isPunct("<") {
+			t, err := p.tuple()
+			if err != nil {
+				return nil, err
+			}
+			m.Tuple = t
+		}
+		if p.isPunct("{") {
+			members, err := p.memberBlock()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.checkLiteralMembers(m.Graph, members); err != nil {
+				return nil, err
+			}
+			m.Members = members
+		}
+	case p.eatKw("insert"):
+		switch {
+		case p.eatKw("node"):
+			m.Kind = ast.MutInsertNode
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			m.Name = name
+			if p.isPunct("<") {
+				t, err := p.tuple()
+				if err != nil {
+					return nil, err
+				}
+				m.Tuple = t
+			}
+		case p.eatKw("edge"):
+			m.Kind = ast.MutInsertEdge
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			m.Name = name
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if m.From, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			if m.To, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if p.isPunct("<") {
+				t, err := p.tuple()
+				if err != nil {
+					return nil, err
+				}
+				m.Tuple = t
+			}
+		default:
+			return nil, p.errf("expected 'node' or 'edge' after 'insert', found %s", p.cur())
+		}
+		if !p.eatKw("into") {
+			return nil, p.errf("expected 'into', found %s", p.cur())
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		m.Graph = name
+	case p.eatKw("delete"):
+		switch {
+		case p.eatKw("node"):
+			m.Kind = ast.MutDeleteNode
+		case p.eatKw("edge"):
+			m.Kind = ast.MutDeleteEdge
+		default:
+			return nil, p.errf("expected 'node' or 'edge' after 'delete', found %s", p.cur())
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		m.Name = name
+		if !p.eatKw("from") {
+			return nil, p.errf("expected 'from', found %s", p.cur())
+		}
+		if m.Graph, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+	}
+	doc, err := p.docRef()
+	if err != nil {
+		return nil, err
+	}
+	m.Doc = doc
+	return m, nil
+}
+
+// docRef ::= "in" "doc" "(" Str ")" — the document target shared by every
+// mutation form (the same doc("...") spelling the for clause uses).
+func (p *Parser) docRef() (string, error) {
+	if !p.eatKw("in") {
+		return "", p.errf("expected 'in', found %s", p.cur())
+	}
+	if !p.eatKw("doc") {
+		return "", p.errf("expected 'doc', found %s", p.cur())
+	}
+	if err := p.expectPunct("("); err != nil {
+		return "", err
+	}
+	if p.cur().Kind != lexer.Str {
+		return "", p.errf("expected string literal in doc(...)")
+	}
+	name := p.cur().Text
+	p.pos++
+	return name, p.expectPunct(")")
+}
+
+// checkLiteralMembers restricts a create-graph body to what a graph
+// literal can hold: plain node and edge declarations with local (undotted)
+// names and no where clauses. Data carries no predicates or composition.
+func (p *Parser) checkLiteralMembers(graphName string, members []ast.Member) error {
+	for _, m := range members {
+		switch x := m.(type) {
+		case *ast.NodeDecl:
+			if x.Where != nil {
+				return p.errf("create graph %s: literal node cannot have a where clause", graphName)
+			}
+			if strings.Contains(x.Name, ".") {
+				return p.errf("create graph %s: literal node name cannot be dotted", graphName)
+			}
+		case *ast.EdgeDecl:
+			if x.Where != nil {
+				return p.errf("create graph %s: literal edge cannot have a where clause", graphName)
+			}
+			if len(x.From) != 1 || len(x.To) != 1 {
+				return p.errf("create graph %s: literal edge endpoints must be local node names", graphName)
+			}
+		default:
+			return p.errf("create graph %s: body must contain only node and edge declarations", graphName)
+		}
+	}
+	return nil
 }
 
 // graphDecl ::= "graph" [ID] [Tuple] "{" Member* "}" ("|" "{" Member* "}")* ["where" Expr]

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gqldb/internal/exec"
+	"gqldb/internal/graph"
+	"gqldb/internal/store"
+)
+
+// postMutate posts a raw mutation program to /v2/mutate and returns the
+// response with its decoded body.
+func postMutate(t *testing.T, url, program string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v2/mutate", "text/plain", strings.NewReader(program))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("response %q is not JSON: %v", body, err)
+	}
+	return resp, out
+}
+
+// TestMutateV2 drives the write endpoint end to end over a durable store:
+// a successful batch answers 200 with its summary only after the WAL holds
+// the record, parse and application failures map to the wire contract, and
+// the mutation is visible to the query plane.
+func TestMutateV2(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.OpenDurable(store.Options{Shards: 2}, store.DurableOptions{
+		Dir: dir, Sync: true,
+		Bootstrap: func(s *store.DocStore) error {
+			g := graph.New("G")
+			g.AddNode("a", graph.TupleOf("", "label", "A"))
+			s.RegisterDoc("db", graph.Collection{g})
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cfg := Config{
+		Engine:    exec.NewOver(d),
+		Timeout:   10 * time.Second,
+		AccessLog: func(AccessRecord) {},
+		Admin:     true,
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// A good batch: 200, summary counts, and the WAL holds it before the
+	// response was written (Sync: true fsyncs inside ApplyBatch).
+	resp, out := postMutate(t, ts.URL, `
+insert node b <label="B"> into G in doc("db");
+insert edge e (a, b) into G in doc("db");
+`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("mutate status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["nodes_added"] != 1.0 || out["edges_added"] != 1.0 {
+		t.Fatalf("summary = %v, want 1 node 1 edge added", out)
+	}
+	if _, ok := out["wall_ms"]; !ok {
+		t.Fatalf("summary %v lacks wall_ms", out)
+	}
+	if recs := d.WALRecords(); recs != 1 {
+		t.Fatalf("WAL holds %d records, want the committed batch", recs)
+	}
+
+	// The mutation is immediately visible to the query plane.
+	q := `graph P { node v1 where label="A"; node v2 where label="B"; edge (v1, v2); };
+for P exhaustive in doc("db") return graph { node P.v1; node P.v2; edge (P.v1, P.v2); };`
+	qresp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	var qout queryResponse
+	if err := json.NewDecoder(qresp.Body).Decode(&qout); err != nil {
+		t.Fatal(err)
+	}
+	if len(qout.Results) != 1 {
+		t.Fatalf("post-mutation query returned %d results, want 1", len(qout.Results))
+	}
+
+	// Parse failure: 400 parse_error.
+	resp, out = postMutate(t, ts.URL, `insert node into;`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("parse failure status = %d, want 400", resp.StatusCode)
+	}
+	if code := out["error"].(map[string]any)["code"]; code != "parse_error" {
+		t.Fatalf("parse failure code = %v, want parse_error", code)
+	}
+
+	// Application failure (unknown document): 422 mutation_error, and the
+	// failed batch left no WAL record.
+	resp, out = postMutate(t, ts.URL, `drop graph G in doc("nope");`)
+	if resp.StatusCode != 422 {
+		t.Fatalf("apply failure status = %d, want 422", resp.StatusCode)
+	}
+	eb := out["error"].(map[string]any)
+	if eb["code"] != "mutation_error" {
+		t.Fatalf("apply failure code = %v, want mutation_error", eb["code"])
+	}
+	if !strings.Contains(eb["message"].(string), "unknown document") {
+		t.Fatalf("apply failure message = %v", eb["message"])
+	}
+	if recs := d.WALRecords(); recs != 1 {
+		t.Fatalf("failed batch reached the WAL: %d records", recs)
+	}
+
+	// A query program down the write path: rejected, not executed.
+	resp, out = postMutate(t, ts.URL, q)
+	if resp.StatusCode != 422 {
+		t.Fatalf("query-on-mutate status = %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestMutateV2RequiresAdmin: without Config.Admin the write surface is not
+// mounted at all.
+func TestMutateV2RequiresAdmin(t *testing.T) {
+	_, ts := newV2Server(t, manyAuthors(3), 1, nil)
+	resp, err := http.Post(ts.URL+"/v2/mutate", "text/plain",
+		strings.NewReader(`drop graph G0 in doc("DBLP");`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unmounted mutate status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMutateV2Envelope: the JSON envelope form works and carries the
+// timeout override field without disturbing the program.
+func TestMutateV2Envelope(t *testing.T) {
+	ds := store.New(store.Options{Shards: 1})
+	g := graph.New("G")
+	g.AddNode("a", graph.TupleOf("", "label", "A"))
+	ds.RegisterDoc("db", graph.Collection{g})
+	cfg := Config{
+		Engine:    exec.NewOver(ds),
+		Timeout:   10 * time.Second,
+		AccessLog: func(AccessRecord) {},
+		Admin:     true,
+	}
+	ts := httptest.NewServer(New(cfg))
+	defer ts.Close()
+
+	env, _ := json.Marshal(map[string]any{
+		"query":      `insert node b into G in doc("db");`,
+		"timeout_ms": 5000,
+	})
+	resp, err := http.Post(ts.URL+"/v2/mutate", "application/json", bytes.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || out["nodes_added"] != 1.0 {
+		t.Fatalf("envelope mutate: status %d, body %v", resp.StatusCode, out)
+	}
+}

@@ -16,6 +16,11 @@
 //	               query index on every line
 //	GET  /v2/schema loaded documents, store version and per-document
 //	               attribute inventory
+//	POST /v2/mutate apply a mutation program (create/drop/insert/delete
+//	               statements) as one all-or-nothing batch; the 200 is
+//	               written only after the batch committed (and, on a
+//	               durable store, fsynced into the WAL). Mounted only
+//	               under Config.Admin, like /admin/doc
 //	GET  /metrics  Prometheus text dump of the process metrics registry
 //	GET  /debug/vars  expvar (includes the "gqldb" snapshot var)
 //	GET  /healthz  liveness + drain state + in-flight count
@@ -80,8 +85,9 @@ type Config struct {
 	// carry. Default: 16.
 	MaxBatch int
 	// Admin mounts the mutating admin surface (POST /admin/doc — register
-	// a document over HTTP). Off by default: the admin surface is for
-	// trusted operators and cluster tests, not the query plane.
+	// a document over HTTP — and POST /v2/mutate — apply a mutation
+	// program). Off by default: the write surface is for trusted
+	// operators and cluster tests, not the query plane.
 	Admin bool
 }
 
@@ -175,6 +181,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	if cfg.Admin {
 		s.mux.Handle("POST /admin/doc", s.wrap("/admin/doc", s.handleAdminDoc))
+		s.mux.Handle("POST /v2/mutate", s.wrap("/v2/mutate", s.handleMutateV2))
 	}
 	return s
 }

@@ -192,10 +192,11 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		errFrame(w, store.WireCodeBadRequest, err.Error(), 0, "")
 		return
 	}
-	// The mirror fences its own plan cache on its own store version; the
-	// frontend's epoch does not travel.
+	// The mirror fences its own plan cache on its own copy's document
+	// version; the frontend's epoch does not travel, and mutations to other
+	// documents leave this document's plans live.
 	opt.Plans = s.plans
-	opt.PlanEpoch = sn.Version()
+	opt.PlanEpoch = d.Version()
 	workers := req.Workers
 	if workers < 1 {
 		workers = 1

@@ -8,6 +8,8 @@ import (
 
 	"gqldb/internal/algebra"
 	"gqldb/internal/exec"
+	"gqldb/internal/gindex"
+	"gqldb/internal/graph"
 	"gqldb/internal/match"
 	"gqldb/internal/store"
 )
@@ -85,4 +87,71 @@ func BenchmarkCacheHit(b *testing.B) {
 	}
 	b.Run("hit", func(b *testing.B) { run(b, true) })
 	b.Run("miss", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkApplyMutations measures the write path: one insert+delete
+// batch (net zero, so the store stays the same size across iterations)
+// applied incrementally, against re-registering the whole document — the
+// rebuild the incremental path exists to avoid. The incremental variant
+// should win by a wide margin on any non-trivial document.
+func BenchmarkApplyMutations(b *testing.B) {
+	const graphs = 400
+	coll := randomCollection(graphs, 9)
+	ctx := context.Background()
+	for _, shards := range []int{1, 4} {
+		opts := store.Options{Shards: shards, IndexMaxLen: 2}
+		b.Run(fmt.Sprintf("incremental/shards=%d", shards), func(b *testing.B) {
+			s := store.New(opts)
+			s.RegisterDoc("db", coll)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := []store.Mutation{
+					{Op: store.OpInsertNode, Doc: "db", Graph: fmt.Sprintf("g%d", i%graphs),
+						Name: "bench", Attrs: graph.TupleOf("", "label", "A")},
+					{Op: store.OpDeleteNode, Doc: "db", Graph: fmt.Sprintf("g%d", i%graphs),
+						Name: "bench"},
+				}
+				if _, err := s.ApplyBatch(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fullreload/shards=%d", shards), func(b *testing.B) {
+			s := store.New(opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RegisterDoc("db", coll)
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalIndex compares maintaining the path-feature index
+// through a one-graph delta (gindex.Update) against rebuilding it from
+// scratch — the equivalence the randomized store tests prove, priced.
+func BenchmarkIncrementalIndex(b *testing.B) {
+	const graphs = 400
+	coll := randomCollection(graphs, 11)
+	ix := gindex.Build(coll, 2)
+	// The delta: one replaced graph (a fresh pointer with one extra node).
+	changed := coll[graphs/2].Clone()
+	changed.AddNode("bench", graph.TupleOf("", "label", "A"))
+	next := make(graph.Collection, graphs)
+	copy(next, coll)
+	next[graphs/2] = changed
+
+	b.Run("update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := ix.Update(next, []int32{graphs / 2}); got == nil {
+				b.Fatal("update returned nil")
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := gindex.Build(next, 2); got == nil {
+				b.Fatal("rebuild returned nil")
+			}
+		}
+	})
 }

@@ -2,6 +2,9 @@ package store
 
 import (
 	"container/list"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"gqldb/internal/obs"
@@ -10,13 +13,39 @@ import (
 // CacheKey identifies one cached whole-program result. Program is the
 // canonical token-stream rendering of the source (whitespace- and
 // comment-insensitive), Docs the sorted NUL-joined document names the
-// program reads, and Version the store version of the snapshot the result
-// was computed from. Worker count is deliberately absent: parallelism never
-// changes a result, so any worker setting may serve any cached entry.
+// program reads, and Vers the NUL-joined per-document versions (parallel
+// to Docs, "-" for a document absent from the snapshot) the result was
+// computed from. Document versions are drawn from the store's single
+// monotonic counter, so a (name, version) pair never refers to two
+// different document states. Worker count is deliberately absent:
+// parallelism never changes a result, so any worker setting may serve any
+// cached entry.
 type CacheKey struct {
 	Program string
 	Docs    string
-	Version uint64
+	Vers    string
+}
+
+// KeyFor builds the cache key for program evaluated against snap, reading
+// the named documents. Use this instead of assembling a CacheKey by hand:
+// it owns the sorted-Docs and per-document-version encoding.
+func KeyFor(program string, snap *Snapshot, docs []string) CacheKey {
+	sorted := make([]string, len(docs))
+	copy(sorted, docs)
+	sort.Strings(sorted)
+	vers := make([]string, len(sorted))
+	for i, name := range sorted {
+		if d, ok := snap.Doc(name); ok {
+			vers[i] = strconv.FormatUint(d.Version(), 10)
+		} else {
+			vers[i] = "-"
+		}
+	}
+	return CacheKey{
+		Program: program,
+		Docs:    strings.Join(sorted, "\x00"),
+		Vers:    strings.Join(vers, "\x00"),
+	}
 }
 
 // CacheStats is one cache's counter snapshot (the process-wide equivalents
@@ -30,20 +59,21 @@ type CacheStats struct {
 	Capacity      int   `json:"capacity"`
 }
 
-// Cache is an LRU result cache with invalidation-by-version: it holds
-// entries for exactly one store version at a time (the newest it has seen),
-// so a store mutation — which bumps the version — implicitly purges every
-// older entry on the next access. Staleness is therefore structurally
-// impossible: an entry can only be served to a key carrying the same
-// version it was stored under, and version numbers never repeat.
+// Cache is an LRU result cache with invalidation by per-document version
+// vector: every entry's key records the exact version of each document the
+// result read, so an entry can only be served to a query evaluated against
+// those same document states — staleness is structurally impossible. When
+// an access reveals that a document has moved forward, only the entries
+// that read an older version of that document are purged; results over
+// untouched documents stay live across mutations to unrelated ones.
 //
 // Values are opaque (any); the engine layer owns cloning in and out so a
 // cached result is never aliased by two callers.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	latest   uint64
-	order    *list.List // front = most recent; values are *cacheEntry
+	latest   map[string]uint64 // newest version seen per document
+	order    *list.List        // front = most recent; values are *cacheEntry
 	entries  map[CacheKey]*list.Element
 
 	hits, misses, evictions, invalidations int64
@@ -61,6 +91,7 @@ func NewCache(capacity int) *Cache {
 	}
 	return &Cache{
 		capacity: capacity,
+		latest:   make(map[string]uint64),
 		order:    list.New(),
 		entries:  make(map[CacheKey]*list.Element),
 	}
@@ -79,14 +110,13 @@ func (c *Cache) SetCapacity(n int) {
 }
 
 // Get returns the entry for key, if present and current. A key carrying a
-// newer version than any seen purges the cache first (the mutation
-// happened; everything held is stale); a key older than the latest seen
-// can never hit.
+// newer version of some document purges the entries that read an older
+// version of that document — and only those; a key older than the newest
+// seen for any of its documents can never hit.
 func (c *Cache) Get(key CacheKey) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.advance(key.Version)
-	if key.Version < c.latest {
+	if !c.advance(key) {
 		c.miss()
 		return nil, false
 	}
@@ -102,14 +132,13 @@ func (c *Cache) Get(key CacheKey) (any, bool) {
 }
 
 // Put stores val under key, evicting the least-recently-used entry past
-// capacity. Entries for versions older than the newest seen are discarded
-// rather than stored — a result computed from a pre-mutation snapshot must
-// never become servable after the mutation.
+// capacity. Entries reading document versions older than the newest seen
+// are discarded rather than stored — a result computed from a pre-mutation
+// snapshot must never become servable after the mutation.
 func (c *Cache) Put(key CacheKey, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.advance(key.Version)
-	if key.Version < c.latest {
+	if !c.advance(key) {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
@@ -139,19 +168,80 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
-// advance moves the single live version forward, purging all held entries
-// when it does. Callers hold c.mu.
-func (c *Cache) advance(version uint64) {
-	if version <= c.latest {
-		return
+// splitKey decomposes a key's document and version vectors. A malformed
+// key (vector lengths disagree) yields nil, nil.
+func splitKey(key CacheKey) (docs, vers []string) {
+	if key.Docs == "" {
+		return nil, nil
 	}
-	if c.order.Len() > 0 {
+	docs = strings.Split(key.Docs, "\x00")
+	vers = strings.Split(key.Vers, "\x00")
+	if len(docs) != len(vers) {
+		return nil, nil
+	}
+	return docs, vers
+}
+
+// advance moves each document's live version forward to what key carries,
+// purging entries that read older versions of exactly those documents. It
+// reports whether key itself is current (no document older than the newest
+// seen). Callers hold c.mu.
+func (c *Cache) advance(key CacheKey) bool {
+	if key.Docs == "" {
+		return true // reads no documents; nothing can invalidate it
+	}
+	docs, vers := splitKey(key)
+	if docs == nil {
+		return false
+	}
+	current := true
+	for i, doc := range docs {
+		v, err := strconv.ParseUint(vers[i], 10, 64)
+		if err != nil {
+			continue // "-": document absent from the snapshot; nothing to fence
+		}
+		switch {
+		case v > c.latest[doc]:
+			c.purgeDoc(doc, v)
+			c.latest[doc] = v
+		case v < c.latest[doc]:
+			current = false
+		}
+	}
+	return current
+}
+
+// purgeDoc removes every entry that read doc at a version older than v,
+// counting one invalidation if anything was removed. Callers hold c.mu.
+func (c *Cache) purgeDoc(doc string, v uint64) {
+	removed := false
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		key := el.Value.(*cacheEntry).key
+		if keyReadsDocBefore(key, doc, v) {
+			c.order.Remove(el)
+			delete(c.entries, key)
+			removed = true
+		}
+	}
+	if removed {
 		c.invalidations++
 		obs.CacheInvalidations.Inc()
-		c.order.Init()
-		clear(c.entries)
 	}
-	c.latest = version
+}
+
+// keyReadsDocBefore reports whether key reads doc at a version below v.
+func keyReadsDocBefore(key CacheKey, doc string, v uint64) bool {
+	docs, vers := splitKey(key)
+	for i, d := range docs {
+		if d != doc {
+			continue
+		}
+		ev, err := strconv.ParseUint(vers[i], 10, 64)
+		return err != nil || ev < v
+	}
+	return false
 }
 
 // miss counts one miss. Callers hold c.mu.

@@ -1,0 +1,232 @@
+package store_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gqldb/internal/exec"
+	"gqldb/internal/graph"
+	"gqldb/internal/match"
+	"gqldb/internal/store"
+)
+
+// docQuery renders the A—B edge query over the named document.
+func docQuery(doc string) string {
+	return fmt.Sprintf(`
+graph P { node v1 where label="A"; node v2 where label="B"; edge (v1, v2); };
+for P exhaustive in doc(%q)
+return graph { node P.v1; node P.v2; edge (P.v1, P.v2); };
+`, doc)
+}
+
+// addMatchBatch returns a mutation batch that adds one more A—B match to
+// the named document's first graph.
+func addMatchBatch(doc string, k int) []store.Mutation {
+	return []store.Mutation{
+		{Op: store.OpInsertNode, Doc: doc, Graph: "g0", Name: fmt.Sprintf("ca%d", k), Attrs: graph.TupleOf("", "label", "A")},
+		{Op: store.OpInsertNode, Doc: doc, Graph: "g0", Name: fmt.Sprintf("cb%d", k), Attrs: graph.TupleOf("", "label", "B")},
+		{Op: store.OpInsertEdge, Doc: doc, Graph: "g0", Name: fmt.Sprintf("ce%d", k), From: fmt.Sprintf("ca%d", k), To: fmt.Sprintf("cb%d", k)},
+	}
+}
+
+// TestCacheCrossDocIsolation is the per-document invalidation acceptance
+// test: a mutation to document A must purge A's cached results while
+// provably leaving document B's result-cache entries live (hit counters
+// asserted), across a shards × workers grid.
+func TestCacheCrossDocIsolation(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d_workers=%d", shards, workers), func(t *testing.T) {
+				s := store.New(store.Options{Shards: shards, IndexMaxLen: 2})
+				s.RegisterDoc("a", randomCollection(20, 31))
+				s.RegisterDoc("b", randomCollection(20, 32))
+				e := exec.NewOver(s)
+				e.Cache = store.NewCache(16)
+				e.Workers = workers
+				ctx := context.Background()
+
+				qa, qb := docQuery("a"), docQuery("b")
+				for _, q := range []string{qa, qb, qa, qb} {
+					if _, err := e.RunQuery(ctx, q); err != nil {
+						t.Fatal(err)
+					}
+				}
+				st := e.Cache.Stats()
+				if st.Hits != 2 || st.Misses != 2 || st.Entries != 2 {
+					t.Fatalf("warmup stats %+v, want 2 hits 2 misses 2 entries", st)
+				}
+
+				if _, err := s.ApplyBatch(ctx, addMatchBatch("a", 0)); err != nil {
+					t.Fatal(err)
+				}
+				// Doc b's entry must still be served post-mutation...
+				resB, err := e.RunQuery(ctx, qb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st = e.Cache.Stats()
+				if st.Hits != 3 {
+					t.Fatalf("doc-b query missed after doc-a mutation: %+v", st)
+				}
+				if len(resB.Stats.Ops) != 0 {
+					t.Fatal("doc-b query executed operators instead of hitting the cache")
+				}
+				// ...while doc a's entry is purged: the next a-query misses and
+				// reflects the new data.
+				resA, err := e.RunQuery(ctx, qa)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st = e.Cache.Stats()
+				if st.Hits != 3 || st.Misses != 3 || st.Invalidations != 1 {
+					t.Fatalf("post-mutation stats %+v, want 3 hits 3 misses 1 invalidation", st)
+				}
+				oracle, err := exec.NewOver(s).RunQuery(ctx, qa)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if renderResult(resA) != renderResult(oracle) {
+					t.Fatal("post-mutation doc-a query served stale data")
+				}
+			})
+		}
+	}
+}
+
+// TestPlanCacheCrossDocIsolation: a mutation to document A must leave
+// document B's cached plans live (plan-cache hit counters asserted), and
+// only A's plans are invalidated on next probe.
+func TestPlanCacheCrossDocIsolation(t *testing.T) {
+	s := store.New(store.Options{Shards: 2})
+	s.RegisterDoc("a", randomCollection(8, 41))
+	s.RegisterDoc("b", randomCollection(8, 42))
+	e := exec.NewOver(s) // no result cache: every run reaches the planner
+	e.Plans = match.NewPlanCache(64)
+	ctx := context.Background()
+
+	qa, qb := docQuery("a"), docQuery("b")
+	for _, q := range []string{qa, qb, qa, qb} {
+		if _, err := e.RunQuery(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := e.Plans.Stats()
+	if warm.Hits == 0 {
+		t.Fatalf("warmup produced no plan hits: %+v", warm)
+	}
+	if _, err := s.ApplyBatch(ctx, addMatchBatch("a", 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Doc b re-runs entirely on cached plans: hits advance by the per-run
+	// hit count, with no invalidations.
+	perRunB := warm.Hits / 2 // two warm runs each hit once per graph
+	if _, err := e.RunQuery(ctx, qb); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Plans.Stats()
+	if st.Hits != warm.Hits+perRunB {
+		t.Fatalf("doc-b plans were not preserved: hits %d, want %d (%+v)", st.Hits, warm.Hits+perRunB, st)
+	}
+	if st.Invalidations != 0 {
+		t.Fatalf("doc-b run invalidated plans: %+v", st)
+	}
+	// Doc a re-runs invalidate the untouched graphs' plans (same graph
+	// pointer, moved document version) and re-plan the mutated one.
+	if _, err := e.RunQuery(ctx, qa); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Plans.Stats()
+	if st.Invalidations == 0 {
+		t.Fatalf("doc-a plans survived the document version bump: %+v", st)
+	}
+}
+
+// TestCacheConcurrentApplyVsCachedQueries races Apply batches against
+// queries through a shared cached engine; run under -race. Every observed
+// result must byte-match the oracle for some committed version of the
+// mutated document (old-or-new, never a blend or a stale-beyond-window
+// result), and queries over the unmutated document must always serve the
+// one fixed oracle result.
+func TestCacheConcurrentApplyVsCachedQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short")
+	}
+	const batches = 8
+	sopts := store.Options{Shards: 4, IndexMaxLen: 2}
+	collA, collB := randomCollection(12, 51), randomCollection(12, 52)
+
+	// Precompute the oracle result for every version of doc a.
+	validA := make(map[string]bool)
+	scratch := store.New(sopts)
+	scratch.RegisterDoc("a", collA)
+	ctx := context.Background()
+	snapshotRender := func(s *store.DocStore, q string) string {
+		res, err := exec.NewOver(s).RunQuery(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderResult(res)
+	}
+	qa, qb := docQuery("a"), docQuery("b")
+	validA[snapshotRender(scratch, qa)] = true
+	for k := 0; k < batches; k++ {
+		if _, err := scratch.ApplyBatch(ctx, addMatchBatch("a", k)); err != nil {
+			t.Fatal(err)
+		}
+		validA[snapshotRender(scratch, qa)] = true
+	}
+	if len(validA) < 2 {
+		t.Fatal("degenerate test: mutations do not change the result")
+	}
+
+	s := store.New(sopts)
+	s.RegisterDoc("a", collA)
+	s.RegisterDoc("b", collB)
+	wantB := snapshotRender(s, qb)
+	e := exec.NewOver(s)
+	e.Cache = store.NewCache(16)
+	e.Plans = match.NewPlanCache(64)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				resA, err := e.RunQuery(ctx, qa)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				if got := renderResult(resA); !validA[got] {
+					errs[r] = fmt.Errorf("doc-a result matches no committed version")
+					return
+				}
+				resB, err := e.RunQuery(ctx, qb)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				if renderResult(resB) != wantB {
+					errs[r] = fmt.Errorf("doc-b result changed under doc-a mutations")
+					return
+				}
+			}
+		}(r)
+	}
+	for k := 0; k < batches; k++ {
+		if _, err := s.ApplyBatch(ctx, addMatchBatch("a", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", r, err)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Durable wraps a DocStore with write-ahead durability: every Apply batch
+// is appended (and, under the Sync policy, fsynced) to the WAL before it
+// commits in memory, so an acknowledged mutation survives a crash. Opening
+// a durable store recovers the exact pre-crash state:
+//
+//  1. the snapshot checkpoint (if any) seeds the document map and store
+//     version wholesale;
+//  2. Bootstrap registers the process's startup documents — it must be
+//     deterministic across restarts and skip names the checkpoint already
+//     restored, so the post-bootstrap version is reproducible;
+//  3. WAL records with Seq beyond the current version replay through the
+//     normal transactional Apply path, each required to commit as exactly
+//     its recorded version — a gap or overlap means the bootstrap diverged
+//     and recovery refuses to guess.
+//
+// Checkpointing writes the whole store (binary collections plus document
+// versions) to snapshot.tmp, fsyncs, renames over snapshot.bin and then
+// truncates the WAL, so a crash at any point leaves either the old
+// checkpoint + full log or the new checkpoint + empty log.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gqldb/internal/graph"
+	"gqldb/internal/obs"
+)
+
+const (
+	snapshotMagic   = "GQLS"
+	snapshotVersion = 1
+	walFileName     = "wal.log"
+	snapFileName    = "snapshot.bin"
+)
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Dir is the durability directory, holding wal.log and snapshot.bin.
+	// Created if absent.
+	Dir string
+	// Sync fsyncs the WAL on every append, making mutations durable before
+	// they are acknowledged. Off trades crash durability of the last few
+	// batches for throughput (the OS flushes on its own schedule).
+	Sync bool
+	// CheckpointEvery checkpoints and truncates the WAL once it holds this
+	// many records. 0 takes the default (256); negative disables automatic
+	// checkpoints (Checkpoint can still be called explicitly).
+	CheckpointEvery int
+	// Bootstrap registers the process's startup documents on the fresh
+	// store before WAL replay. It must be deterministic across restarts
+	// and must skip document names already present (restored by the
+	// checkpoint), or recovery will refuse the log.
+	Bootstrap func(*DocStore) error
+}
+
+// Durable is a DocStore whose Apply batches are WAL-durable. Reads and
+// non-mutation writes pass through the embedded store.
+type Durable struct {
+	*DocStore
+	wal             *WAL
+	dir             string
+	checkpointEvery int
+}
+
+// OpenDurable opens (or creates) a durable store in dopts.Dir, recovering
+// checkpoint + WAL state into a store configured by sopts.
+func OpenDurable(sopts Options, dopts DurableOptions) (*Durable, error) {
+	if dopts.Dir == "" {
+		return nil, fmt.Errorf("store: durable: no directory configured")
+	}
+	if err := os.MkdirAll(dopts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: durable: %w", err)
+	}
+	if dopts.CheckpointEvery == 0 {
+		dopts.CheckpointEvery = 256
+	}
+	s := New(sopts)
+	checkpointVersion, err := loadCheckpoint(s, filepath.Join(dopts.Dir, snapFileName))
+	if err != nil {
+		return nil, err
+	}
+	if dopts.Bootstrap != nil {
+		if err := dopts.Bootstrap(s); err != nil {
+			return nil, fmt.Errorf("store: durable: bootstrap: %w", err)
+		}
+	}
+	wal, recs, err := OpenWAL(filepath.Join(dopts.Dir, walFileName), dopts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		v := s.Version()
+		if rec.Seq <= checkpointVersion {
+			// Already captured by the checkpoint. Only the checkpoint may
+			// cover a record: a version merely inflated by extra bootstrap
+			// registrations must not swallow committed batches.
+			continue
+		}
+		if rec.Seq != v+1 {
+			wal.Close()
+			return nil, fmt.Errorf("store: durable: wal record %d does not follow store version %d (non-deterministic bootstrap?)", rec.Seq, v)
+		}
+		if _, err := s.ApplyBatch(context.Background(), rec.Muts); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: durable: replaying wal record %d: %w", rec.Seq, err)
+		}
+		obs.WALReplayed.Inc()
+	}
+	return &Durable{
+		DocStore:        s,
+		wal:             wal,
+		dir:             dopts.Dir,
+		checkpointEvery: dopts.CheckpointEvery,
+	}, nil
+}
+
+// Apply applies the batch WAL-durably and returns the new store version.
+func (d *Durable) Apply(ctx context.Context, muts []Mutation) (uint64, error) {
+	res, err := d.ApplyBatch(ctx, muts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Version, nil
+}
+
+// ApplyBatch stages the batch, appends it to the WAL (fsynced under the
+// Sync policy), and only then commits — so by the time the caller sees a
+// result the batch is recoverable. A failed append commits nothing.
+func (d *Durable) ApplyBatch(ctx context.Context, muts []Mutation) (*ApplyResult, error) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	st, err := d.stageApply(ctx, muts)
+	if err != nil {
+		return nil, err
+	}
+	seq := d.DocStore.Version() + 1
+	if err := d.wal.Append(seq, muts); err != nil {
+		return nil, err
+	}
+	st.result.Version = d.commitApply(st)
+	if d.checkpointEvery > 0 && d.wal.Records() >= d.checkpointEvery {
+		if err := d.checkpointLocked(); err != nil {
+			// The commit is already durable in the WAL; a failed checkpoint
+			// only delays truncation.
+			return &st.result, fmt.Errorf("store: durable: checkpoint: %w", err)
+		}
+	}
+	return &st.result, nil
+}
+
+// Checkpoint writes the current store state to the snapshot file and
+// truncates the WAL.
+func (d *Durable) Checkpoint() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.checkpointLocked()
+}
+
+// WALRecords returns the number of records currently in the WAL.
+func (d *Durable) WALRecords() int {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.wal.Records()
+}
+
+// Close checkpoints nothing and closes the WAL file; the store remains
+// usable for reads.
+func (d *Durable) Close() error { return d.wal.Close() }
+
+func (d *Durable) checkpointLocked() error {
+	snap := d.DocStore.Snapshot()
+	tmp := filepath.Join(d.dir, snapFileName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := writeCheckpoint(f, snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, snapFileName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := d.wal.Reset(); err != nil {
+		return err
+	}
+	obs.WALCheckpoints.Inc()
+	return nil
+}
+
+// writeCheckpoint serializes the snapshot: magic, format version, store
+// version, then each document (sorted by name for determinism) as name,
+// install version, and a length-prefixed GQLB collection.
+func writeCheckpoint(w io.Writer, snap *Snapshot) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var tmp [binary.MaxVarintLen64]byte
+	uv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		bw.Write(tmp[:n])
+	}
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	bw.WriteByte(snapshotVersion)
+	uv(snap.Version())
+	names := snap.Docs()
+	uv(uint64(len(names)))
+	for _, name := range names {
+		doc, _ := snap.Doc(name)
+		uv(uint64(len(name)))
+		bw.WriteString(name)
+		uv(doc.Version())
+		var gb bytes.Buffer
+		if err := graph.WriteBinary(&gb, doc.Collection()); err != nil {
+			return err
+		}
+		uv(uint64(gb.Len()))
+		if _, err := bw.Write(gb.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// loadCheckpoint seeds s from the snapshot file and returns the restored
+// store version; a missing file is a fresh start at version 0.
+func loadCheckpoint(s *DocStore, path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("store: durable: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0, fmt.Errorf("store: durable: checkpoint header: %w", err)
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, fmt.Errorf("store: durable: bad checkpoint magic %q", hdr[:len(snapshotMagic)])
+	}
+	if hdr[len(snapshotMagic)] != snapshotVersion {
+		return 0, fmt.Errorf("store: durable: unsupported checkpoint version %d", hdr[len(snapshotMagic)])
+	}
+	storeVersion, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("store: durable: checkpoint: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("store: durable: checkpoint: %w", err)
+	}
+	if count > 1<<20 {
+		return 0, fmt.Errorf("store: durable: implausible checkpoint document count %d", count)
+	}
+	docs := make(map[string]*Doc, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("store: durable: checkpoint: %w", err)
+		}
+		if nameLen > 1<<20 {
+			return 0, fmt.Errorf("store: durable: implausible document name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return 0, fmt.Errorf("store: durable: checkpoint: %w", err)
+		}
+		docVersion, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("store: durable: checkpoint: %w", err)
+		}
+		collLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("store: durable: checkpoint: %w", err)
+		}
+		if collLen > 1<<32 {
+			return 0, fmt.Errorf("store: durable: implausible collection length %d", collLen)
+		}
+		gb := make([]byte, collLen)
+		if _, err := io.ReadFull(br, gb); err != nil {
+			return 0, fmt.Errorf("store: durable: checkpoint: %w", err)
+		}
+		coll, err := graph.ReadBinary(bytes.NewReader(gb))
+		if err != nil {
+			return 0, fmt.Errorf("store: durable: checkpoint document %q: %w", nameBuf, err)
+		}
+		b := NewDocBuilder(string(nameBuf), s.opts.Shards, s.opts.IndexMaxLen)
+		for _, g := range coll {
+			b.Add(g)
+		}
+		doc := b.Build()
+		doc.version = docVersion
+		docs[string(nameBuf)] = doc
+	}
+	s.seed(storeVersion, docs)
+	return storeVersion, nil
+}
+
+// BootstrapFiles returns a Bootstrap that registers each name=path GQLB
+// file, sorted by name for determinism, skipping names already restored
+// by a checkpoint — the contract OpenDurable's recovery protocol needs.
+func BootstrapFiles(files map[string]string) func(*DocStore) error {
+	return func(s *DocStore) error {
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		present := s.Snapshot()
+		for _, name := range names {
+			if _, ok := present.Doc(name); ok {
+				continue
+			}
+			f, err := os.Open(files[name])
+			if err != nil {
+				return err
+			}
+			coll, err := graph.ReadBinary(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("document %q: %w", name, err)
+			}
+			s.RegisterDoc(name, coll)
+		}
+		return nil
+	}
+}

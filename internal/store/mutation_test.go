@@ -1,0 +1,305 @@
+package store_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gqldb/internal/gindex"
+	"gqldb/internal/graph"
+	"gqldb/internal/store"
+)
+
+func TestApplyBasic(t *testing.T) {
+	s := store.New(store.Options{Shards: 4, IndexMaxLen: 2})
+	ctx := context.Background()
+	res, err := s.ApplyBatch(ctx, []store.Mutation{
+		{Op: store.OpCreateGraph, Doc: "db", Graph: "g1", Attrs: graph.TupleOf("paper", "venue", "sigmod")},
+		{Op: store.OpInsertNode, Doc: "db", Graph: "g1", Name: "a", Attrs: graph.TupleOf("", "label", "A")},
+		{Op: store.OpInsertNode, Doc: "db", Graph: "g1", Name: "b", Attrs: graph.TupleOf("", "label", "B")},
+		{Op: store.OpInsertEdge, Doc: "db", Graph: "g1", Name: "e", From: "a", To: "b"},
+	})
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	if res.Version != 1 || res.GraphsCreated != 1 || res.NodesAdded != 2 || res.EdgesAdded != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	d, ok := s.Snapshot().Doc("db")
+	if !ok || d.Len() != 1 {
+		t.Fatalf("doc missing or wrong size")
+	}
+	g := d.Collection()[0]
+	if g.Name != "g1" || g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("graph = %s", g)
+	}
+	if g.Attrs.GetOr("venue").AsString() != "sigmod" {
+		t.Fatalf("graph attrs lost: %s", g.Attrs)
+	}
+
+	// Second batch: deletions, including the node-delete edge cascade.
+	res, err = s.ApplyBatch(ctx, []store.Mutation{
+		{Op: store.OpInsertNode, Doc: "db", Graph: "g1", Name: "c"},
+		{Op: store.OpInsertEdge, Doc: "db", Graph: "g1", Name: "e2", From: "a", To: "c"},
+		{Op: store.OpDeleteNode, Doc: "db", Graph: "g1", Name: "a"},
+	})
+	if err != nil {
+		t.Fatalf("ApplyBatch 2: %v", err)
+	}
+	if res.Version != 2 || res.NodesDeleted != 1 || res.EdgesDeleted != 2 {
+		t.Fatalf("result 2 = %+v", res)
+	}
+	g = mustDocGraph(t, s, "db", "g1")
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("after delete: %s", g)
+	}
+	if _, ok := g.NodeByName("a"); ok {
+		t.Fatal("deleted node still present")
+	}
+
+	// Version must advance exactly once per batch.
+	if v := s.Version(); v != 2 {
+		t.Fatalf("version = %d, want 2", v)
+	}
+}
+
+func mustDocGraph(t *testing.T, s *store.DocStore, doc, name string) *graph.Graph {
+	t.Helper()
+	d, ok := s.Snapshot().Doc(doc)
+	if !ok {
+		t.Fatalf("doc %q missing", doc)
+	}
+	for _, g := range d.Collection() {
+		if g.Name == name {
+			return g
+		}
+	}
+	t.Fatalf("graph %q missing in doc %q", name, doc)
+	return nil
+}
+
+func TestApplyAllOrNothing(t *testing.T) {
+	s := store.New(store.Options{Shards: 2, IndexMaxLen: 2})
+	ctx := context.Background()
+	s.RegisterDoc("db", randomCollection(10, 7))
+	v0 := s.Version()
+	snap0 := s.Snapshot()
+	_, err := s.ApplyBatch(ctx, []store.Mutation{
+		{Op: store.OpInsertNode, Doc: "db", Graph: "g0", Name: "fresh"},
+		{Op: store.OpInsertEdge, Doc: "db", Graph: "g0", Name: "bad", From: "fresh", To: "missing"},
+		{Op: store.OpDropGraph, Doc: "nope", Graph: "g0"},
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Positioned, accumulated errors: both bad mutations reported.
+	for _, want := range []string{"mutation 1 (insert edge)", "mutation 2 (drop graph)", "unknown document"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if s.Version() != v0 {
+		t.Fatalf("failed batch bumped version: %d -> %d", v0, s.Version())
+	}
+	d0, _ := snap0.Doc("db")
+	d1, _ := s.Snapshot().Doc("db")
+	if d0 != d1 {
+		t.Fatal("failed batch replaced the document")
+	}
+	if _, ok := mustDocGraph(t, s, "db", "g0").NodeByName("fresh"); ok {
+		t.Fatal("failed batch leaked a node into the store")
+	}
+	if _, err := s.ApplyBatch(ctx, nil); err == nil {
+		t.Fatal("empty batch must error")
+	}
+}
+
+func TestApplyUnchangedDocAndShardSharing(t *testing.T) {
+	s := store.New(store.Options{Shards: 4, IndexMaxLen: 2})
+	s.RegisterDoc("a", randomCollection(16, 1))
+	s.RegisterDoc("b", randomCollection(16, 2))
+	snapBefore := s.Snapshot()
+	da0, _ := snapBefore.Doc("a")
+	db0, _ := snapBefore.Doc("b")
+	if _, err := s.ApplyBatch(context.Background(), []store.Mutation{
+		{Op: store.OpInsertNode, Doc: "a", Graph: "g3", Name: "nn", Attrs: graph.TupleOf("", "label", "Z")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snapAfter := s.Snapshot()
+	da1, _ := snapAfter.Doc("a")
+	db1, _ := snapAfter.Doc("b")
+	if db0 != db1 {
+		t.Fatal("untouched document was rebuilt")
+	}
+	if da0 == da1 {
+		t.Fatal("mutated document not replaced")
+	}
+	// COW at shard granularity: only g3's shard may differ.
+	changedShards := 0
+	for i, sh := range da1.Shards() {
+		if sh != da0.Shards()[i] {
+			changedShards++
+		}
+	}
+	if changedShards != 1 {
+		t.Fatalf("%d shards changed, want exactly 1", changedShards)
+	}
+	// COW at graph granularity: only g3 replaced within the collection.
+	for i, g := range da1.Collection() {
+		if (g != da0.Collection()[i]) != (g.Name == "g3") {
+			t.Fatalf("graph %d (%s) sharing wrong", i, g.Name)
+		}
+	}
+	// The mutated doc's version is the new store version; untouched docs
+	// keep their install version (the per-doc cache vector depends on it).
+	if da1.Version() != s.Version() {
+		t.Fatalf("mutated doc version %d, store %d", da1.Version(), s.Version())
+	}
+	if db1.Version() != db0.Version() {
+		t.Fatalf("untouched doc version moved: %d -> %d", db0.Version(), db1.Version())
+	}
+}
+
+// randomMutation generates one valid mutation against the model state.
+func randomMutation(rng *rand.Rand, s *store.DocStore, doc string) store.Mutation {
+	snap := s.Snapshot()
+	d, ok := snap.Doc(doc)
+	var names []string
+	if ok {
+		for _, g := range d.Collection() {
+			names = append(names, g.Name)
+		}
+	}
+	newName := func(prefix string) string {
+		return fmt.Sprintf("%s%d", prefix, rng.Int63())
+	}
+	if len(names) == 0 || rng.Intn(12) == 0 {
+		return store.Mutation{Op: store.OpCreateGraph, Doc: doc, Graph: newName("ng"),
+			Attrs: graph.TupleOf("", "label", "G")}
+	}
+	target := names[rng.Intn(len(names))]
+	g := func() *graph.Graph {
+		for _, gg := range d.Collection() {
+			if gg.Name == target {
+				return gg
+			}
+		}
+		return nil
+	}()
+	pickNode := func() (string, bool) {
+		if g.NumNodes() == 0 {
+			return "", false
+		}
+		return g.Nodes()[rng.Intn(g.NumNodes())].Name, true
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return store.Mutation{Op: store.OpDropGraph, Doc: doc, Graph: target}
+	case 1, 2:
+		if n, ok := pickNode(); ok && rng.Intn(3) == 0 {
+			return store.Mutation{Op: store.OpDeleteNode, Doc: doc, Graph: target, Name: n}
+		}
+		return store.Mutation{Op: store.OpInsertNode, Doc: doc, Graph: target, Name: newName("n"),
+			Attrs: graph.TupleOf("", "label", string(rune('A'+rng.Intn(3))))}
+	case 3:
+		if g.NumEdges() > 0 {
+			e := g.Edges()[rng.Intn(g.NumEdges())]
+			return store.Mutation{Op: store.OpDeleteEdge, Doc: doc, Graph: target, Name: e.Name}
+		}
+		fallthrough
+	default:
+		from, ok1 := pickNode()
+		to, ok2 := pickNode()
+		if !ok1 || !ok2 {
+			return store.Mutation{Op: store.OpInsertNode, Doc: doc, Graph: target, Name: newName("n"),
+				Attrs: graph.TupleOf("", "label", "A")}
+		}
+		return store.Mutation{Op: store.OpInsertEdge, Doc: doc, Graph: target, Name: newName("e"), From: from, To: to}
+	}
+}
+
+// TestApplyIncrementalEquivalence is the acceptance-criteria test: a
+// randomized mutation sequence over a sharded, indexed store must leave
+// every document byte-equivalent to registering its final collection from
+// scratch — same partition, same ordinals, and a path index Equal to a
+// from-scratch gindex.Build of each shard.
+func TestApplyIncrementalEquivalence(t *testing.T) {
+	const ixLen = 2
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		s := store.New(store.Options{Shards: 4, IndexMaxLen: ixLen})
+		s.RegisterDoc("db", randomCollection(12, seed))
+		for round := 0; round < 25; round++ {
+			batch := make([]store.Mutation, 1+rng.Intn(4))
+			for i := range batch {
+				batch[i] = randomMutation(rng, s, "db")
+			}
+			if _, err := s.ApplyBatch(context.Background(), batch); err != nil {
+				// Random batches can self-collide (e.g. delete then target the
+				// deleted node); all-or-nothing means the store is untouched.
+				continue
+			}
+			d, _ := s.Snapshot().Doc("db")
+
+			fresh := store.New(store.Options{Shards: 4, IndexMaxLen: ixLen})
+			fresh.RegisterDoc("db", d.Collection())
+			fd, _ := fresh.Snapshot().Doc("db")
+
+			if len(d.Shards()) != len(fd.Shards()) {
+				t.Fatalf("seed %d round %d: %d shards, rebuild has %d", seed, round, len(d.Shards()), len(fd.Shards()))
+			}
+			for si, sh := range d.Shards() {
+				fsh := fd.Shards()[si]
+				if len(sh.Ords) != len(fsh.Ords) {
+					t.Fatalf("seed %d round %d shard %d: ords %v vs rebuild %v", seed, round, si, sh.Ords, fsh.Ords)
+				}
+				for i := range sh.Ords {
+					if sh.Ords[i] != fsh.Ords[i] {
+						t.Fatalf("seed %d round %d shard %d: ords %v vs rebuild %v", seed, round, si, sh.Ords, fsh.Ords)
+					}
+					if sh.Coll[i] != d.Collection()[sh.Ords[i]] {
+						t.Fatalf("seed %d round %d shard %d: coll entry %d not aliasing canonical collection", seed, round, si, i)
+					}
+				}
+				if !sh.Ix.Equal(gindex.Build(sh.Coll, ixLen)) {
+					t.Fatalf("seed %d round %d shard %d: incremental index != from-scratch build", seed, round, si)
+				}
+				if !sh.Ix.Equal(fsh.Ix) {
+					t.Fatalf("seed %d round %d shard %d: incremental index != rebuild index", seed, round, si)
+				}
+			}
+		}
+	}
+}
+
+// Incremental index updates must not mutate the old snapshot's postings:
+// a reader holding the pre-mutation snapshot keeps getting pre-mutation
+// candidates.
+func TestApplyOldSnapshotIsolation(t *testing.T) {
+	s := store.New(store.Options{Shards: 2, IndexMaxLen: 2})
+	s.RegisterDoc("db", randomCollection(8, 3))
+	before := s.Snapshot()
+	db, _ := before.Doc("db")
+	var wantSigs []string
+	for _, g := range db.Collection() {
+		wantSigs = append(wantSigs, g.Signature())
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.ApplyBatch(context.Background(), []store.Mutation{
+			{Op: store.OpInsertNode, Doc: "db", Graph: "g1", Name: fmt.Sprintf("x%d", i), Attrs: graph.TupleOf("", "label", "C")},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, g := range db.Collection() {
+		if g.Signature() != wantSigs[i] {
+			t.Fatalf("old snapshot graph %d mutated", i)
+		}
+	}
+	if db.Len() != 8 {
+		t.Fatal("old snapshot collection resized")
+	}
+}

@@ -276,4 +276,50 @@ func TestRemoteSelectorTopologyMismatch(t *testing.T) {
 	}
 }
 
+// TestRemoteSelectorMutationResync: an Apply batch on the frontend store
+// changes the document's content hash, so stale mirrors are rejected by
+// the handshake and re-synced on the next query — the cluster answer
+// matches an embedded engine over the mutated store, before and after.
+func TestRemoteSelectorMutationResync(t *testing.T) {
+	coll := randomCollection(40, 43)
+	docs := map[string]graph.Collection{"db": coll}
+	endpoints := startCluster(t, 3, 4, docs) // mirrors seeded with the pre-mutation doc
+	eng, _ := remoteEngine(4, endpoints, docs)
+
+	oracle := exec.NewOver(store.New(store.Options{}))
+	oracle.Docs.RegisterDoc("db", coll)
+	runBoth := func(stage string) {
+		t.Helper()
+		want, err := oracle.RunQuery(t.Context(), storeQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.RunQuery(t.Context(), storeQuery)
+		if err != nil {
+			t.Fatalf("%s: cluster query failed: %v", stage, err)
+		}
+		if renderResult(got) != renderResult(want) {
+			t.Fatalf("%s: cluster result diverged from embedded engine", stage)
+		}
+	}
+	runBoth("pre-mutation")
+
+	// One batch on both the frontend and the oracle: a fresh A—B match plus
+	// a deletion that cascades into existing matches.
+	batch := []store.Mutation{
+		{Op: store.OpCreateGraph, Doc: "db", Graph: "mut"},
+		{Op: store.OpInsertNode, Doc: "db", Graph: "mut", Name: "x", Attrs: graph.TupleOf("", "label", "A")},
+		{Op: store.OpInsertNode, Doc: "db", Graph: "mut", Name: "y", Attrs: graph.TupleOf("", "label", "B")},
+		{Op: store.OpInsertEdge, Doc: "db", Graph: "mut", Name: "xy", From: "x", To: "y"},
+	}
+	ctx := context.Background()
+	if _, err := eng.Docs.(*store.DocStore).ApplyBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.Docs.(*store.DocStore).ApplyBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	runBoth("post-mutation")
+}
+
 var _ = fmt.Sprint // keep fmt imported for debugging edits

@@ -67,6 +67,12 @@ type Store interface {
 type DocStore struct {
 	opts Options
 
+	// wmu serializes writers (RegisterDoc, RemoveDoc, Apply): a staged
+	// mutation batch must commit against the exact state it was computed
+	// from, so writers are mutually exclusive end-to-end while readers keep
+	// going through mu. Lock order: wmu before mu.
+	wmu sync.Mutex
+
 	mu      sync.RWMutex
 	version uint64
 	docs    map[string]*Doc
@@ -116,6 +122,8 @@ func (s *DocStore) Version() uint64 {
 // The collection slice is captured as the document's canonical order; do
 // not mutate it (or its graphs) after registration.
 func (s *DocStore) RegisterDoc(name string, c graph.Collection) uint64 {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	b := NewDocBuilder(name, s.opts.Shards, s.opts.IndexMaxLen)
 	for _, g := range c {
 		b.Add(g)
@@ -125,10 +133,13 @@ func (s *DocStore) RegisterDoc(name string, c graph.Collection) uint64 {
 
 // RemoveDoc unbinds name and bumps the version.
 func (s *DocStore) RemoveDoc(name string) uint64 {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	return s.install(name, nil)
 }
 
 // install copy-on-writes the document map: d == nil removes the binding.
+// Callers hold wmu.
 func (s *DocStore) install(name string, d *Doc) uint64 {
 	obs.StoreMutations.Inc()
 	s.mu.Lock()
@@ -146,6 +157,35 @@ func (s *DocStore) install(name string, d *Doc) uint64 {
 	}
 	s.docs = next
 	return s.version
+}
+
+// installAll publishes a staged batch's touched documents under one
+// version bump — the all-or-nothing commit of Apply. Callers hold wmu.
+func (s *DocStore) installAll(docs map[string]*Doc) uint64 {
+	obs.StoreMutations.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make(map[string]*Doc, len(s.docs)+len(docs))
+	for k, v := range s.docs {
+		next[k] = v
+	}
+	s.version++
+	for name, d := range docs {
+		d.version = s.version
+		next[name] = d
+	}
+	s.docs = next
+	return s.version
+}
+
+// seed restores a checkpointed state without version bumps or cache
+// invalidation: the document map and store version are set wholesale.
+// Recovery-only (OpenDurable), before the store is shared with readers.
+func (s *DocStore) seed(version uint64, docs map[string]*Doc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version = version
+	s.docs = docs
 }
 
 // Snapshot is one immutable view of the store: the documents present at a

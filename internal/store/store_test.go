@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"testing"
 
 	"gqldb/internal/algebra"
@@ -366,7 +367,7 @@ func TestCacheKeyIndependence(t *testing.T) {
 func TestCacheLRU(t *testing.T) {
 	c := store.NewCache(2)
 	k := func(p string, v uint64) store.CacheKey {
-		return store.CacheKey{Program: p, Docs: "db", Version: v}
+		return store.CacheKey{Program: p, Docs: "db", Vers: strconv.FormatUint(v, 10)}
 	}
 	c.Put(k("a", 1), "A")
 	c.Put(k("b", 1), "B")

@@ -3,6 +3,7 @@ package store_test
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -90,7 +91,7 @@ func mustRun(t testing.TB, coll graph.Collection) *exec.Result {
 }
 
 // TestCacheConcurrentAccess hammers one cache from many goroutines mixing
-// Get, Put and version bumps; run under -race. The single-live-version
+// Get, Put and version bumps; run under -race. The version-vector
 // invariant must hold at every interleaving: a Get never returns a value
 // stored under a version other than its own.
 func TestCacheConcurrentAccess(t *testing.T) {
@@ -107,7 +108,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				version := uint64(1 + r/50) // advances as the rounds progress
-				key := store.CacheKey{Program: fmt.Sprintf("p%d", r%10), Docs: "db", Version: version}
+				key := store.CacheKey{Program: fmt.Sprintf("p%d", r%10), Docs: "db", Vers: strconv.FormatUint(version, 10)}
 				if r%3 == 0 {
 					c.Put(key, version)
 				} else if v, ok := c.Get(key); ok {
